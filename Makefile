@@ -1,0 +1,34 @@
+# Convenience targets for the Caldera reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench figures figures-full examples clean
+
+install:
+	$(PYTHON) -m pip install -e ".[dev]"
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow" -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m benchmarks.run_all
+
+figures-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m benchmarks.run_all
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex"; \
+		$(PYTHON) $$ex || exit 1; \
+	done
+
+clean:
+	rm -rf benchmarks/.cache benchmarks/.cache-full .pytest_cache \
+		.hypothesis .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

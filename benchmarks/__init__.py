@@ -1,0 +1,16 @@
+"""Benchmark harness reproducing every table and figure of the paper.
+
+Each ``bench_fig*`` module regenerates one figure/table: it builds (and
+caches) the workload, runs the relevant access methods, and reports the
+same series/rows the paper reports. Two entry points:
+
+- ``pytest benchmarks/ --benchmark-only`` — pytest-benchmark timings for
+  every figure's representative configurations;
+- ``python -m benchmarks.run_all`` — regenerate every figure's full
+  data series into ``benchmarks/results/*.txt`` (used to fill
+  EXPERIMENTS.md).
+
+Scale: the default stream sizes are scaled down from the paper's 30,000
+timesteps to keep a full run in minutes of pure Python; set
+``REPRO_BENCH_FULL=1`` for paper-scale streams.
+"""

@@ -1,0 +1,189 @@
+"""Figure 10 (table): all algorithms on real streams, 2/3/4-link queries.
+
+The paper's table runs three real streams (James: Entered-Office on a
+high-density stream; Sally: Entered-Office on a low-density stream; Pat:
+Coffee-Room on a longer stream) against queries of 2, 3, and 4 links.
+The NEXT block uses adjacent links (fixed-length: full scan, B+Tree,
+top-k B+Tree); the BEFORE block inserts Kleene closures (variable-length:
+MC index, semi-independent). Rows report stream statistics, match
+counts, and per-algorithm times.
+
+Longer queries pin a tag at successive hallway segments outside the room
+before it is entered, exactly as in §4.2.4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.rfid import HALLWAY
+
+from .harness import measure, print_table, save_report
+from .workloads import room_queries_for, routines_db, world
+
+MATCH_THRESHOLD = 1e-3
+
+
+def hallway_chain(room: str, length: int) -> Optional[List[str]]:
+    """Hallway segments walking away from the room's doorway:
+    ``[h_far, ..., h2, h1]`` with ``h1`` adjacent to the room."""
+    plan, _, _ = world()
+    halls = [n for n in plan.neighbors(room) if plan.kind_of(n) == HALLWAY]
+    if not halls:
+        return None
+    chain = [halls[0]]
+    while len(chain) < length:
+        nxt = [
+            n for n in plan.neighbors(chain[-1])
+            if plan.kind_of(n) == HALLWAY and n not in chain
+        ]
+        if not nxt:
+            return None
+        chain.append(nxt[0])
+    chain.reverse()
+    return chain
+
+
+def query_text(room: str, links: int, before: bool) -> Optional[str]:
+    """An Entered-Room query with the given number of links."""
+    chain = hallway_chain(room, links - 1)
+    if chain is None:
+        return None
+    stops = chain + [room]
+    if not before:
+        return " -> ".join(f"location={stop}" for stop in stops)
+    parts = [f"location={stops[0]}"]
+    for stop in stops[1:]:
+        parts.append(f"(!location={stop})* location={stop}")
+    return " -> ".join(parts)
+
+
+def pick_scenarios(db) -> List[Tuple[str, str, str]]:
+    """(label, stream, room) triples mirroring James / Sally / Pat."""
+    scenarios = []
+    dense = room_queries_for(db, "person0", count=1)[0][0]
+    scenarios.append(("James (dense office)", "person0", dense))
+    sparse_list = room_queries_for(db, "person1", count=22)
+    scenarios.append(("Sally (sparse office)", "person1", sparse_list[-1][0]))
+    plan, _, _ = world()
+    coffee_rooms = set(plan.of_kind("CoffeeRoom"))
+    pat_room = None
+    for room, _ in room_queries_for(db, "person2", count=50):
+        if room in coffee_rooms:
+            pat_room = room
+            break
+    if pat_room is None:
+        pat_room = room_queries_for(db, "person2", count=22)[-1][0]
+    scenarios.append(("Pat (coffee room)", "person2", pat_room))
+    return scenarios
+
+
+def generate():
+    db = routines_db()
+    rows = []
+    try:
+        for label, stream, room in pick_scenarios(db):
+            meta = db.stream_meta(stream)
+            for links in (2, 3, 4):
+                next_text = query_text(room, links, before=False)
+                before_text = query_text(room, links, before=True)
+                if next_text is None or before_text is None:
+                    continue
+                relevant = round(
+                    db.data_density(stream, next_text) * meta.length
+                )
+                row = {
+                    "scenario": label,
+                    "links": links,
+                    "timesteps": meta.length,
+                    "relevant": relevant,
+                }
+                scan = measure(db, stream, next_text, "naive", "scan",
+                               repeats=1)
+                row["scan_ms"] = round(scan.wall_ms, 1)
+                next_result = db.query(stream, next_text, method="btree")
+                row["next_matches"] = len(
+                    next_result.above(MATCH_THRESHOLD)
+                )
+                btree = measure(db, stream, next_text, "btree", "btree",
+                                repeats=1)
+                row["btree_ms"] = round(btree.wall_ms, 1)
+                topk = measure(db, stream, next_text, "topk", "topk",
+                               repeats=1, k=1)
+                row["topk_ms"] = round(topk.wall_ms, 1)
+                before_result = db.query(stream, before_text, method="mc")
+                row["before_matches"] = len(
+                    before_result.above(MATCH_THRESHOLD)
+                )
+                mc = measure(db, stream, before_text, "mc", "mc", repeats=1)
+                row["mc_ms"] = round(mc.wall_ms, 1)
+                semi = measure(db, stream, before_text, "semi", "semi",
+                               repeats=1)
+                row["semi_ms"] = round(semi.wall_ms, 1)
+                rows.append(row)
+        text = print_table(
+            "Figure 10: algorithm times on real streams, 2-4 link queries",
+            rows,
+            columns=["scenario", "links", "timesteps", "relevant", "scan_ms",
+                     "next_matches", "btree_ms", "topk_ms", "before_matches",
+                     "mc_ms", "semi_ms"],
+        )
+        save_report("fig10", text, {"rows": rows})
+        return rows
+    finally:
+        db.close()
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = routines_db()
+    yield database
+    database.close()
+
+
+@pytest.fixture(scope="module")
+def james(db):
+    label, stream, room = pick_scenarios(db)[0]
+    return stream, room
+
+
+@pytest.mark.parametrize("links", [2, 3, 4])
+def test_fig10_btree_scales_with_links(benchmark, db, james, links):
+    stream, room = james
+    text = query_text(room, links, before=False)
+    assert text is not None
+    benchmark.pedantic(
+        lambda: db.query(stream, text, method="btree", cold=True),
+        rounds=3, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("links", [2, 4])
+def test_fig10_mc_before_queries(benchmark, db, james, links):
+    stream, room = james
+    text = query_text(room, links, before=True)
+    assert text is not None
+    benchmark.pedantic(
+        lambda: db.query(stream, text, method="mc", cold=True),
+        rounds=3, iterations=1,
+    )
+
+
+def test_fig10_shape_btree_beats_scan_more_on_longer_queries(db):
+    """§4.2.4: the Reg operator slows with extra links, and the B+Tree
+    method avoids many updates, so its relative advantage grows."""
+    label, stream, room = pick_scenarios(db)[1]  # sparse stream
+    ratios = {}
+    for links in (2, 4):
+        text = query_text(room, links, before=False)
+        scan = measure(db, stream, text, "naive", "s", repeats=1)
+        btree = measure(db, stream, text, "btree", "b", repeats=1)
+        ratios[links] = scan.wall_ms / max(btree.wall_ms, 1e-6)
+    assert ratios[4] > 1.0  # B+Tree wins on the longer query
+    assert ratios[2] > 1.0
+
+
+if __name__ == "__main__":
+    generate()

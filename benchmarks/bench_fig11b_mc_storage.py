@@ -1,0 +1,113 @@
+"""Figure 11(b): MC index storage requirements vs alpha and stream length.
+
+Builds MC indexes with alpha in {2, 4, 8, 16} over streams of increasing
+length and reports index size (bytes and entries) against raw stream
+size. Expected shape: storage grows linearly with stream length; alpha=2
+roughly doubles the stream's storage (sum over levels of M/alpha^i ~=
+M/(alpha-1)); larger alpha shrinks the index quickly.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import pytest
+
+from repro.indexes import build_mc
+from repro.storage import StorageEnvironment
+from repro.streams import Layout, open_reader, write_stream
+
+from .harness import print_table, save_report
+from .workloads import CACHE_ROOT, world
+from repro.rfid import synthesize_stream
+
+ALPHAS = [2, 4, 8, 16]
+LENGTH_SNIPPETS = [25, 50, 100]  # x30 timesteps each
+
+
+def _make_stream(num_snippets, seed=5):
+    plan, sensors, space = world()
+    return synthesize_stream(
+        plan, sensors, f"len{num_snippets}", target_room="F0C0R5a",
+        num_snippets=num_snippets, density=0.2, seed=seed, space=space,
+        prune=1e-3,
+    )
+
+
+def generate():
+    rows = []
+    scratch = os.path.join(CACHE_ROOT, "fig11b-scratch")
+    if os.path.exists(scratch):
+        shutil.rmtree(scratch)
+    for num_snippets in LENGTH_SNIPPETS:
+        stream = _make_stream(num_snippets)
+        for alpha in ALPHAS:
+            path = os.path.join(scratch, f"{num_snippets}-{alpha}")
+            with StorageEnvironment(path, page_size=8192) as env:
+                write_stream(env, stream, Layout.SEPARATED)
+                reader = open_reader(env, stream.name, stream.space,
+                                     len(stream), Layout.SEPARATED)
+                index = build_mc(env, stream.name, reader, alpha=alpha)
+                stream_bytes = (
+                    env.file_size(stream.name + "__marg")
+                    + env.file_size(stream.name + "__cpt")
+                )
+                rows.append({
+                    "timesteps": len(stream),
+                    "alpha": alpha,
+                    "index_entries": index.num_entries(),
+                    "index_mb": round(index.storage_bytes() / 2**20, 3),
+                    "stream_mb": round(stream_bytes / 2**20, 3),
+                    "overhead_ratio": round(
+                        index.storage_bytes() / stream_bytes, 3
+                    ),
+                })
+    text = print_table(
+        "Figure 11(b): MC index storage vs alpha and stream length",
+        rows,
+        columns=["timesteps", "alpha", "index_entries", "index_mb",
+                 "stream_mb", "overhead_ratio"],
+    )
+    save_report("fig11b", text, {"rows": rows})
+    shutil.rmtree(scratch, ignore_errors=True)
+    return rows
+
+
+@pytest.mark.parametrize("alpha", [2, 8])
+def test_fig11b_build_cost(benchmark, tmp_path, alpha):
+    stream = _make_stream(25)
+
+    def build():
+        import uuid
+
+        path = str(tmp_path / uuid.uuid4().hex)
+        with StorageEnvironment(path, page_size=8192) as env:
+            write_stream(env, stream, Layout.SEPARATED)
+            reader = open_reader(env, stream.name, stream.space,
+                                 len(stream), Layout.SEPARATED)
+            build_mc(env, stream.name, reader, alpha=alpha)
+
+    benchmark.pedantic(build, rounds=2, iterations=1)
+
+
+def test_fig11b_shape_alpha_tradeoff(tmp_path):
+    """Larger alpha -> smaller index; alpha=2 entry count ~= M-ish."""
+    stream = _make_stream(25)
+    sizes = {}
+    for alpha in (2, 8):
+        path = str(tmp_path / f"a{alpha}")
+        with StorageEnvironment(path, page_size=8192) as env:
+            write_stream(env, stream, Layout.SEPARATED)
+            reader = open_reader(env, stream.name, stream.space,
+                                 len(stream), Layout.SEPARATED)
+            index = build_mc(env, stream.name, reader, alpha=alpha)
+            sizes[alpha] = (index.num_entries(), index.storage_bytes())
+    assert sizes[8][0] < sizes[2][0]
+    assert sizes[8][1] <= sizes[2][1]
+    # alpha=2 stores close to one entry per timestep (sum_i M/2^i ~ M).
+    assert sizes[2][0] <= len(stream)
+
+
+if __name__ == "__main__":
+    generate()

@@ -1,0 +1,111 @@
+"""Figure 8(a): worst-case B+Tree vs naive scan, separated vs co-clustered.
+
+The paper's setup: synthetic streams where *every* relevant timestep
+participates in a valid query match (match rate 100% — worst case for
+pruning), an Entered-Room query, both disk layouts, log-scale time vs
+data density.
+
+Expected shape: at low density the B+Tree method wins by 1-2 orders of
+magnitude; as density approaches 1 it degenerates into a scan with B+
+tree overhead. Both methods run faster on the separated layout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams import Layout
+
+from .harness import Measurement, measure, print_table, save_report
+from .workloads import ENTERED_ROOM_QUERY, synthetic_db
+
+DENSITIES = [0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0]
+LAYOUTS = (Layout.SEPARATED, Layout.CO_CLUSTERED)
+
+
+def _db(density):
+    return synthetic_db(density=density, match_rate=1.0, layouts=LAYOUTS)
+
+
+def generate():
+    """The full Figure 8(a) series."""
+    rows = []
+    for density in DENSITIES:
+        db = _db(density)
+        try:
+            measured_density = db.data_density("syn_separated",
+                                               ENTERED_ROOM_QUERY)
+            for layout in LAYOUTS:
+                stream = f"syn_{layout.value}"
+                for method in ("naive", "btree"):
+                    m = measure(db, stream, ENTERED_ROOM_QUERY, method,
+                                f"{method}/{layout.value}")
+                    rows.append({
+                        "target_density": density,
+                        "measured_density": round(measured_density, 4),
+                        "layout": layout.value,
+                        "method": method,
+                        "wall_ms": round(m.wall_ms, 2),
+                        "physical_reads": m.physical_reads,
+                        "reg_updates": m.extra["reg_updates"],
+                    })
+        finally:
+            db.close()
+    text = print_table(
+        "Figure 8(a): B+Tree vs naive scan x layouts (worst case)",
+        rows,
+        columns=["target_density", "measured_density", "layout", "method",
+                 "wall_ms", "physical_reads", "reg_updates"],
+    )
+    save_report("fig8a", text, {"rows": rows})
+    return rows
+
+
+@pytest.fixture(scope="module")
+def low_density_db():
+    db = _db(0.05)
+    yield db
+    db.close()
+
+
+@pytest.fixture(scope="module")
+def high_density_db():
+    db = _db(0.75)
+    yield db
+    db.close()
+
+
+@pytest.mark.parametrize("method", ["naive", "btree"])
+@pytest.mark.parametrize("layout", ["separated", "co_clustered"])
+def test_fig8a_low_density(benchmark, low_density_db, method, layout):
+    db = low_density_db
+    stream = f"syn_{layout}"
+    benchmark.pedantic(
+        lambda: db.query(stream, ENTERED_ROOM_QUERY, method=method, cold=True),
+        rounds=3, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("method", ["naive", "btree"])
+def test_fig8a_high_density(benchmark, high_density_db, method):
+    db = high_density_db
+    benchmark.pedantic(
+        lambda: db.query("syn_separated", ENTERED_ROOM_QUERY, method=method,
+                         cold=True),
+        rounds=3, iterations=1,
+    )
+
+
+def test_fig8a_shape_btree_wins_at_low_density(low_density_db):
+    """Reproduction criterion: order-of-magnitude speedup at low density."""
+    db = low_density_db
+    naive = measure(db, "syn_separated", ENTERED_ROOM_QUERY, "naive", "n",
+                    repeats=1)
+    btree = measure(db, "syn_separated", ENTERED_ROOM_QUERY, "btree", "b",
+                    repeats=1)
+    assert btree.wall_ms * 4 < naive.wall_ms
+    assert btree.extra["reg_updates"] * 4 < naive.extra["reg_updates"]
+
+
+if __name__ == "__main__":
+    generate()

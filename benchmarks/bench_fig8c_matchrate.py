@@ -1,0 +1,89 @@
+"""Figure 8(c): B+Tree performance vs density at varying match rates.
+
+Each curve fixes the fraction of relevant timesteps that participate in
+query matches (100/75/50/25%); the x-axis sweeps data density. Expected
+shape: for a fixed density, fewer matches -> proportionally faster; the
+100% curve is Figure 8(a)'s worst case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams import Layout
+
+from .harness import measure, print_table, save_report
+from .workloads import ENTERED_ROOM_QUERY, synthetic_db
+
+DENSITIES = [0.01, 0.05, 0.1, 0.25, 0.5, 1.0]
+MATCH_RATES = [1.0, 0.75, 0.5, 0.25]
+
+
+def _db(density, match_rate):
+    return synthetic_db(density=density, match_rate=match_rate,
+                        layouts=(Layout.SEPARATED,))
+
+
+def generate():
+    rows = []
+    for match_rate in MATCH_RATES:
+        for density in DENSITIES:
+            db = _db(density, match_rate)
+            try:
+                result = db.query("syn_separated", ENTERED_ROOM_QUERY,
+                                  method="btree", cold=True)
+                m = measure(db, "syn_separated", ENTERED_ROOM_QUERY, "btree",
+                            "btree", repeats=1)
+                rows.append({
+                    "match_rate": match_rate,
+                    "target_density": density,
+                    "measured_density": round(
+                        db.data_density("syn_separated", ENTERED_ROOM_QUERY), 4
+                    ),
+                    "wall_ms": round(m.wall_ms, 2),
+                    "matches": result.match_count,
+                    "reg_updates": m.extra["reg_updates"],
+                })
+            finally:
+                db.close()
+    text = print_table(
+        "Figure 8(c): B+Tree time vs density at fixed match rates",
+        rows,
+        columns=["match_rate", "target_density", "measured_density",
+                 "wall_ms", "matches", "reg_updates"],
+    )
+    save_report("fig8c", text, {"rows": rows})
+    return rows
+
+
+@pytest.mark.parametrize("match_rate", [1.0, 0.25])
+def test_fig8c_btree_at_match_rate(benchmark, match_rate):
+    db = _db(0.1, match_rate)
+    try:
+        benchmark.pedantic(
+            lambda: db.query("syn_separated", ENTERED_ROOM_QUERY,
+                             method="btree", cold=True),
+            rounds=3, iterations=1,
+        )
+    finally:
+        db.close()
+
+
+def test_fig8c_shape_fewer_matches_fewer_candidates():
+    """At equal density, a lower match rate yields fewer candidate
+    match intervals for the B+Tree method."""
+    full = _db(0.25, 1.0)
+    quarter = _db(0.25, 0.25)
+    try:
+        r_full = full.query("syn_separated", ENTERED_ROOM_QUERY,
+                            method="btree")
+        r_quarter = quarter.query("syn_separated", ENTERED_ROOM_QUERY,
+                                  method="btree")
+        assert r_quarter.match_count < r_full.match_count
+    finally:
+        full.close()
+        quarter.close()
+
+
+if __name__ == "__main__":
+    generate()

@@ -1,0 +1,8 @@
+"""pytest configuration for the benchmark suite.
+
+The ``bench_*`` modules double as plain tests: their ``*_shape_*``
+functions assert the paper's qualitative claims (who wins, where the
+crossovers are) and run under ordinary ``pytest benchmarks/``; the
+benchmark-fixture functions time representative configurations under
+``pytest benchmarks/ --benchmark-only``.
+"""

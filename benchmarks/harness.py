@@ -1,0 +1,106 @@
+"""Measurement and reporting helpers shared by the figure benchmarks."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@dataclass
+class Measurement:
+    """One measured query execution."""
+
+    label: str
+    wall_ms: float
+    logical_reads: int
+    physical_reads: int
+    extra: Dict = field(default_factory=dict)
+
+    def row(self) -> Dict:
+        out = {
+            "label": self.label,
+            "wall_ms": round(self.wall_ms, 3),
+            "logical_reads": self.logical_reads,
+            "physical_reads": self.physical_reads,
+        }
+        out.update(self.extra)
+        return out
+
+
+def measure(db, stream_name: str, query, method: str, label: str,
+            cold: bool = True, repeats: int = 3, **kwargs) -> Measurement:
+    """Run a query ``repeats`` times (cold caches each time) and report
+    the median wall time with the first run's I/O counts."""
+    results = []
+    for _ in range(max(1, repeats)):
+        result = db.query(stream_name, query, method=method, cold=cold,
+                          **kwargs)
+        results.append(result)
+    walls = sorted(r.stats.wall_time for r in results)
+    median = walls[len(walls) // 2]
+    first = results[0]
+    return Measurement(
+        label=label,
+        wall_ms=median * 1000.0,
+        logical_reads=first.stats.io.logical_reads,
+        physical_reads=first.stats.io.physical_reads,
+        extra={
+            "reg_updates": first.stats.reg_updates,
+            "marginals_read": first.stats.marginals_read,
+            "cpts_read": first.stats.cpts_read,
+            "signal_points": len(first.signal),
+        },
+    )
+
+
+def print_table(title: str, rows: Sequence[Dict],
+                columns: Optional[Sequence[str]] = None) -> str:
+    """Format rows as an aligned text table; returns the text."""
+    if not rows:
+        return f"== {title} ==\n(no data)\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), max(len(_fmt(r.get(c, ""))) for r in rows))
+        for c in columns
+    }
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(c).ljust(widths[c]) for c in columns))
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for r in rows:
+        lines.append(
+            "  ".join(_fmt(r.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    text = "\n".join(lines) + "\n"
+    print(text)
+    return text
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def save_report(name: str, text: str, data: Optional[Dict] = None) -> str:
+    """Persist a figure's report under ``benchmarks/results``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+    if data is not None:
+        with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+    return path
+
+
+def speedup(baseline_ms: float, other_ms: float) -> float:
+    """How many times faster ``other`` is than ``baseline``."""
+    if other_ms <= 0:
+        return float("inf")
+    return baseline_ms / other_ms

@@ -1,0 +1,65 @@
+"""Regenerate every figure and table of the paper.
+
+Usage::
+
+    python -m benchmarks.run_all            # scaled-down streams
+    REPRO_BENCH_FULL=1 python -m benchmarks.run_all   # paper scale
+
+Writes one text + JSON report per figure under ``benchmarks/results/``;
+EXPERIMENTS.md summarizes them against the paper's claims.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import (
+    bench_ablation_mc_alpha,
+    bench_ablation_merge,
+    bench_ablation_topk_bound,
+    bench_fig4_signal,
+    bench_fig8a_layouts,
+    bench_fig8b_real_fixed,
+    bench_fig8c_matchrate,
+    bench_fig9a_variable,
+    bench_fig9b_real_variable,
+    bench_fig9c_accuracy,
+    bench_fig10_table,
+    bench_fig11a_mc_lookup,
+    bench_fig11b_mc_storage,
+)
+
+FIGURES = [
+    ("fig4", bench_fig4_signal),
+    ("fig8a", bench_fig8a_layouts),
+    ("fig8b", bench_fig8b_real_fixed),
+    ("fig8c", bench_fig8c_matchrate),
+    ("fig9a", bench_fig9a_variable),
+    ("fig9b", bench_fig9b_real_variable),
+    ("fig9c", bench_fig9c_accuracy),
+    ("fig10", bench_fig10_table),
+    ("fig11a", bench_fig11a_mc_lookup),
+    ("fig11b", bench_fig11b_mc_storage),
+    ("ablation_merge", bench_ablation_merge),
+    ("ablation_topk_bound", bench_ablation_topk_bound),
+    ("ablation_mc_alpha", bench_ablation_mc_alpha),
+]
+
+
+def main(only=None) -> int:
+    start = time.time()
+    for name, module in FIGURES:
+        if only and name not in only:
+            continue
+        print(f"\n##### {name} " + "#" * 40)
+        t0 = time.time()
+        module.generate()
+        print(f"[{name}] done in {time.time() - t0:.1f}s")
+    print(f"\nAll figures regenerated in {time.time() - start:.1f}s; "
+          "reports in benchmarks/results/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(set(sys.argv[1:]) or None))

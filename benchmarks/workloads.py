@@ -1,0 +1,216 @@
+"""Workload construction and caching for the benchmark suite.
+
+Datasets mirror §4.1:
+
+- **synthetic** (§4.1.1): snippet-concatenated streams over the
+  paper-scale two-floor building, with controlled data density and
+  query-match rate; 30,000 timesteps at full scale (1,000 snippets),
+  scaled to 3,000 by default so the whole suite runs in minutes of pure
+  Python (set ``REPRO_BENCH_FULL=1`` for paper scale).
+- **routines** (§4.1.2): simulated daily routines of several people —
+  the "real data" substitute with bimodal density.
+
+Built databases are cached on disk under ``benchmarks/.cache`` keyed by
+their parameters, so repeated benchmark runs skip regeneration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import Caldera
+from repro.rfid import (
+    RFIDSensorModel,
+    default_deployment,
+    routine_dataset,
+    synthesize_stream,
+    uw_building,
+)
+from repro.streams import Layout
+
+CACHE_ROOT = os.environ.get(
+    "REPRO_BENCH_CACHE",
+    os.path.join(os.path.dirname(__file__), ".cache"),
+)
+FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+#: Snippets per synthetic stream (30 timesteps each).
+SYNTHETIC_SNIPPETS = 1000 if FULL_SCALE else 100
+#: Timesteps per routine trace (the paper's Pat stream is 1683).
+ROUTINE_DURATION = 1683 if FULL_SCALE else 600
+ROUTINE_PEOPLE = 8 if FULL_SCALE else 4
+
+PAGE_SIZE = 8192
+#: The synthetic target: an office off floor-0 corridor-0 segment 5.
+TARGET_ROOM = "F0C0R5a"
+TARGET_DOORWAY = "F0C0H5"
+
+ENTERED_ROOM_QUERY = f"location={TARGET_DOORWAY} -> location={TARGET_ROOM}"
+ENTERED_ROOM_KLEENE = (
+    f"location={TARGET_DOORWAY} -> "
+    f"(!location={TARGET_ROOM})* location={TARGET_ROOM}"
+)
+
+_world_cache: Dict[str, object] = {}
+
+
+def world():
+    """The shared building, sensors, and state space (memoized)."""
+    if not _world_cache:
+        plan = uw_building()
+        sensors = RFIDSensorModel(plan, default_deployment(plan))
+        _world_cache["plan"] = plan
+        _world_cache["sensors"] = sensors
+        _world_cache["space"] = plan.state_space()
+    return (
+        _world_cache["plan"],
+        _world_cache["sensors"],
+        _world_cache["space"],
+    )
+
+
+def _cache_dir(kind: str, params: Dict) -> Tuple[str, bool]:
+    """Cache directory for one workload; returns (path, already_built)."""
+    key = json.dumps(params, sort_keys=True)
+    import hashlib
+
+    digest = hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
+    path = os.path.join(CACHE_ROOT, f"{kind}-{digest}")
+    marker = os.path.join(path, "BUILT.json")
+    if os.path.exists(marker):
+        return path, True
+    if os.path.exists(path):
+        shutil.rmtree(path)  # partial build: start over
+    os.makedirs(path, exist_ok=True)
+    return path, False
+
+
+def _mark_built(path: str, params: Dict) -> None:
+    with open(os.path.join(path, "BUILT.json"), "w") as handle:
+        json.dump(params, handle, indent=2, sort_keys=True)
+
+
+def synthetic_db(
+    density: float,
+    match_rate: float = 1.0,
+    num_snippets: Optional[int] = None,
+    layouts: Sequence[Layout] = (Layout.SEPARATED,),
+    seed: int = 7,
+    mc_alpha: int = 2,
+) -> Caldera:
+    """A Caldera DB holding one synthetic stream per requested layout.
+
+    Stream names are ``syn_{layout.value}``. Fully indexed (BT_C, BT_P,
+    MC index).
+    """
+    num_snippets = num_snippets if num_snippets is not None else SYNTHETIC_SNIPPETS
+    params = {
+        "density": density,
+        "match_rate": match_rate,
+        "num_snippets": num_snippets,
+        "layouts": sorted(l.value for l in layouts),
+        "seed": seed,
+        "mc_alpha": mc_alpha,
+        "target": TARGET_ROOM,
+    }
+    path, built = _cache_dir("synthetic", params)
+    db = Caldera(path, page_size=PAGE_SIZE)
+    if built:
+        return db
+    plan, sensors, space = world()
+    stream = synthesize_stream(
+        plan, sensors, "syn", target_room=TARGET_ROOM,
+        num_snippets=num_snippets, density=density, match_rate=match_rate,
+        seed=seed, space=space, prune=1e-3,
+    )
+    for layout in layouts:
+        stream.name = f"syn_{layout.value}"
+        db.archive(stream, layout=layout, mc_alpha=mc_alpha)
+    _mark_built(path, params)
+    return db
+
+
+def routines_db(
+    num_people: Optional[int] = None,
+    duration: Optional[int] = None,
+    seed: int = 11,
+    layout: Layout = Layout.SEPARATED,
+    mc_alpha: int = 2,
+) -> Caldera:
+    """A Caldera DB holding the routine ("real data") streams
+    ``person0..personN`` plus the LocationType dimension table."""
+    num_people = num_people if num_people is not None else ROUTINE_PEOPLE
+    duration = duration if duration is not None else ROUTINE_DURATION
+    params = {
+        "num_people": num_people,
+        "duration": duration,
+        "seed": seed,
+        "layout": layout.value,
+        "mc_alpha": mc_alpha,
+    }
+    path, built = _cache_dir("routines", params)
+    db = Caldera(path, page_size=PAGE_SIZE)
+    if built:
+        return db
+    plan, sensors, space = world()
+    db.register_dimension_table("LocationType", plan.dimension_table())
+    streams = routine_dataset(
+        plan, sensors, num_people=num_people, duration=duration, seed=seed,
+        space=space, prune=1e-3,
+    )
+    for stream in streams:
+        db.archive(stream, layout=layout, mc_alpha=mc_alpha,
+                   join_tables=("LocationType",))
+    _mark_built(path, params)
+    return db
+
+
+def room_queries_for(db: Caldera, stream_name: str, count: int = 22,
+                     variable: bool = False) -> List[Tuple[str, str]]:
+    """Entered-Room queries for rooms spanning the density spectrum.
+
+    Mirrors §4.2.2's 22 Entered-Room queries on one real stream: one
+    query per room (its doorway then the room), ordered by decreasing
+    data density, sampled across the spectrum. Returns (room, query
+    text) pairs.
+    """
+    plan, _, space = world()
+    from repro.rfid import HALLWAY
+
+    reader = db.reader(stream_name)
+    # Room densities w.r.t. the stream (marginal support).
+    relevant_counts: Dict[str, int] = {}
+    room_doorway: Dict[str, str] = {}
+    rooms = [n for n in plan.names() if plan.kind_of(n) != HALLWAY]
+    for room in rooms:
+        halls = [n for n in plan.neighbors(room) if plan.kind_of(n) == HALLWAY]
+        room_doorway[room] = halls[0]
+        relevant_counts[room] = 0
+    room_states = {
+        room: space.states_with_value("location", room) for room in rooms
+    }
+    door_states = {
+        room: space.states_with_value("location", room_doorway[room])
+        for room in rooms
+    }
+    for _t, marginal in reader.scan_marginals():
+        for room in rooms:
+            if any(s in marginal for s in room_states[room]) or any(
+                s in marginal for s in door_states[room]
+            ):
+                relevant_counts[room] += 1
+    ranked = sorted(rooms, key=lambda r: -relevant_counts[r])
+    nonzero = [r for r in ranked if relevant_counts[r] > 0]
+    take = nonzero[: max(count, 1)]
+    queries = []
+    for room in take:
+        door = room_doorway[room]
+        if variable:
+            text = f"location={door} -> (!location={room})* location={room}"
+        else:
+            text = f"location={door} -> location={room}"
+        queries.append((room, text))
+    return queries

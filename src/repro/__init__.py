@@ -1,0 +1,58 @@
+"""Caldera: access methods for archived Markovian streams.
+
+A from-scratch reproduction of *"Access Methods for Markovian Streams"*
+(Letchner, Ré, Balazinska, Philipose — ICDE 2009 / UW TR #TR08-07-01).
+
+The package is layered bottom-up:
+
+- :mod:`repro.storage` — page-based B+ tree storage engine (BDB substitute);
+- :mod:`repro.probability` — sparse distributions and CPTs;
+- :mod:`repro.hmm` — HMMs, forward-backward smoothing, particle filtering;
+- :mod:`repro.rfid` — building/antenna/tag simulator (data substitute);
+- :mod:`repro.streams` — the Markovian stream model and archive layouts;
+- :mod:`repro.query` — predicates and Regular (linear-NFA) event queries;
+- :mod:`repro.lahar` — the Reg operator (Lahar-style NFA probability);
+- :mod:`repro.indexes` — BT_C, BT_P, MC index, join indexes;
+- :mod:`repro.access` — the paper's five access methods (Algorithms 1-5);
+- :mod:`repro.core` — the Caldera engine: catalog, planner, operators.
+
+Quickstart: see ``examples/quickstart.py`` for an end-to-end walkthrough.
+"""
+
+__version__ = "1.0.0"
+
+from .errors import (
+    CatalogError,
+    InferenceError,
+    KeyEncodingError,
+    PageError,
+    PlanningError,
+    QueryError,
+    ReproError,
+    StorageError,
+    StreamError,
+)
+
+__all__ = [
+    "Caldera",
+    "CatalogError",
+    "InferenceError",
+    "KeyEncodingError",
+    "PageError",
+    "PlanningError",
+    "QueryError",
+    "ReproError",
+    "StorageError",
+    "StreamError",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy import of the engine keeps `import repro` light and avoids
+    # import cycles while the package initializes.
+    if name == "Caldera":
+        from .core.engine import Caldera
+
+        return Caldera
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

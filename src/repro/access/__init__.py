@@ -1,0 +1,33 @@
+"""Caldera's access methods: the five physical Ex implementations (§3).
+
+========================  =========  ===============================
+Class                     Algorithm  Query class
+========================  =========  ===============================
+:class:`NaiveScan`        Alg 1      any (baseline)
+:class:`FixedBTree`       Alg 2      fixed-length
+:class:`FixedTopK`        Alg 3      fixed-length, top-k / threshold
+:class:`VariableMC`       Alg 4      any (needs full index coverage)
+:class:`SemiIndependent`  Alg 5      any (approximate)
+========================  =========  ===============================
+"""
+
+from .base import AccessMethod, AccessStats, QueryContext, QueryResult
+from .fixed_btree import FixedBTree, merge_intervals
+from .fixed_topk import FixedTopK
+from .naive import NaiveScan
+from .semi_independent import SemiIndependent
+from .variable_mc import VariableMC, collect_relevant_events
+
+__all__ = [
+    "AccessMethod",
+    "AccessStats",
+    "FixedBTree",
+    "FixedTopK",
+    "NaiveScan",
+    "QueryContext",
+    "QueryResult",
+    "SemiIndependent",
+    "VariableMC",
+    "collect_relevant_events",
+    "merge_intervals",
+]

@@ -1,0 +1,34 @@
+"""Algorithm 1: the naïve full-stream-scan access method.
+
+The baseline every other method is measured against (§3): initialize Reg
+with the first marginal, then push every CPT of the stream through it.
+Reads one marginal and ``M - 1`` CPTs regardless of the query.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .base import AccessMethod, AccessStats, QueryContext
+
+
+class NaiveScan(AccessMethod):
+    """Full sequential scan of the archived stream (Algorithm 1)."""
+
+    name = "naive"
+
+    def _execute(self, ctx: QueryContext, stats: AccessStats):
+        reg = ctx.new_reg()
+        signal: List[Tuple[int, float]] = []
+
+        p = reg.initialize(ctx.reader.marginal(ctx.start))
+        stats.reg_initializations += 1
+        stats.marginals_read += 1
+        signal.append((ctx.start, p))
+
+        for t, cpt in ctx.reader.scan_cpts(ctx.start + 1, ctx.stop):
+            p = reg.update(cpt)
+            stats.cpts_read += 1
+            signal.append((t, p))
+        stats.reg_updates = reg.updates_performed
+        return signal, 0

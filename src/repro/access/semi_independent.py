@@ -1,0 +1,56 @@
+"""Algorithm 5: the approximate semi-independent access method (§3.4.3).
+
+Like the MC-index method, one cursor per query predicate enumerates the
+relevant timesteps. Correlations between *adjacent* relevant timesteps
+are read directly from the raw stream (one CPT access — the same cost as
+reading a marginal, hence "semi"-independent); correlations across
+longer gaps are replaced by the independence assumption, which needs
+only the marginal at the new timestep.
+
+No accuracy guarantees: ignoring correlations can inflate probabilities
+substantially (§2.1's walking-through-walls example), and on some
+streams the method misidentifies the maximum-probability timestep
+(§4.3.2). Its appeal is speed: no MC index to store or query.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .base import AccessMethod, AccessStats, QueryContext
+from .variable_mc import collect_relevant_events
+
+
+class SemiIndependent(AccessMethod):
+    """The semi-independent access method (Algorithm 5)."""
+
+    name = "semi"
+
+    def _execute(self, ctx: QueryContext, stats: AccessStats):
+        reader = ctx.reader
+        predicates = ctx.query.indexable_predicates()
+        events = collect_relevant_events(ctx, predicates)
+        if not events:
+            return [], 0
+
+        reg = ctx.new_reg()
+        signal: List[Tuple[int, float]] = []
+        t_prev: Optional[int] = None
+        for t, _matched in events:
+            if t_prev is None:
+                p = reg.initialize(reader.marginal(t))
+                stats.reg_initializations += 1
+                stats.marginals_read += 1
+            elif t == t_prev + 1:
+                # Adjacent: the exact CPT is one access away (line 9).
+                p = reg.update(reader.cpt_into(t))
+                stats.cpts_read += 1
+                stats.reg_updates += 1
+            else:
+                # Distant: independence approximation (line 11).
+                p = reg.update_independent(reader.marginal(t), span=t - t_prev)
+                stats.marginals_read += 1
+                stats.reg_updates += 1
+            signal.append((t, p))
+            t_prev = t
+        return signal, 0

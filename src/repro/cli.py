@@ -1,0 +1,238 @@
+"""Command-line interface to Caldera.
+
+::
+
+    python -m repro demo DB            build a demo dataset (routine traces)
+    python -m repro info DB            list streams, indexes, file sizes
+    python -m repro import DB S.json   import a JSON stream and index it
+    python -m repro export DB NAME out.json
+    python -m repro query DB NAME "location=H1 -> location=O300" [options]
+    python -m repro plan DB NAME QUERY     show the planner's choice
+    python -m repro density DB NAME QUERY  data density w.r.t. a query
+
+The query subcommand prints the signal's top matches, optional detected
+events, and the run's cost (wall time + page I/O).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import Caldera, detect_events
+from .errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Caldera: event queries on archived Markovian streams",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="build a demo database of simulated "
+                          "routine traces")
+    demo.add_argument("db", help="database directory")
+    demo.add_argument("--people", type=int, default=2)
+    demo.add_argument("--duration", type=int, default=400)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--layout", default="separated",
+                      choices=["separated", "co_clustered"])
+
+    info = sub.add_parser("info", help="list streams and indexes")
+    info.add_argument("db")
+
+    imp = sub.add_parser("import", help="import a JSON Markovian stream")
+    imp.add_argument("db")
+    imp.add_argument("stream_json")
+    imp.add_argument("--layout", default="separated",
+                     choices=["separated", "co_clustered"])
+    imp.add_argument("--mc-alpha", type=int, default=2)
+    imp.add_argument("--no-btp", action="store_true",
+                     help="skip the BT_P (top-k) index")
+
+    exp = sub.add_parser("export", help="export an archived stream to JSON")
+    exp.add_argument("db")
+    exp.add_argument("stream")
+    exp.add_argument("output")
+
+    query = sub.add_parser("query", help="run a Regular event query")
+    query.add_argument("db")
+    query.add_argument("stream")
+    query.add_argument("query")
+    query.add_argument("--method", default="auto",
+                       choices=["auto", "naive", "btree", "topk", "mc",
+                                "semi"])
+    query.add_argument("--k", type=int, default=None,
+                       help="top-k retrieval")
+    query.add_argument("--threshold", type=float, default=None,
+                       help="return matches with probability >= this")
+    query.add_argument("--events", type=float, default=None, metavar="ENTER",
+                       help="detect events with this enter threshold")
+    query.add_argument("--limit", type=int, default=10,
+                       help="max signal rows to print")
+    query.add_argument("--cold", action="store_true",
+                       help="drop caches before running")
+    query.add_argument("--start", type=int, default=0,
+                       help="window start timestep (inclusive)")
+    query.add_argument("--stop", type=int, default=None,
+                       help="window stop timestep (exclusive)")
+
+    drop = sub.add_parser("drop", help="remove an archived stream and its "
+                          "indexes")
+    drop.add_argument("db")
+    drop.add_argument("stream")
+
+    plan_cmd = sub.add_parser("plan", help="show the planner's decision")
+    plan_cmd.add_argument("db")
+    plan_cmd.add_argument("stream")
+    plan_cmd.add_argument("query")
+    plan_cmd.add_argument("--k", type=int, default=None)
+
+    density = sub.add_parser("density", help="data density w.r.t. a query")
+    density.add_argument("db")
+    density.add_argument("stream")
+    density.add_argument("query")
+    return parser
+
+
+def cmd_demo(args, out) -> int:
+    from .rfid import (
+        RFIDSensorModel,
+        default_deployment,
+        routine_dataset,
+        uw_building,
+    )
+
+    plan = uw_building()
+    sensors = RFIDSensorModel(plan, default_deployment(plan))
+    print(f"simulating {args.people} people x {args.duration} timesteps ...",
+          file=out)
+    streams = routine_dataset(
+        plan, sensors, num_people=args.people, duration=args.duration,
+        seed=args.seed, prune=1e-3,
+    )
+    with Caldera(args.db) as db:
+        db.register_dimension_table("LocationType", plan.dimension_table())
+        for stream in streams:
+            db.archive(stream, layout=args.layout, mc_alpha=2,
+                       join_tables=("LocationType",))
+            print(f"  archived {stream.name} ({len(stream)} timesteps)",
+                  file=out)
+    print(f"demo database ready at {args.db}", file=out)
+    return 0
+
+
+def cmd_info(args, out) -> int:
+    with Caldera(args.db) as db:
+        streams = db.stream_names()
+        if not streams:
+            print("no streams archived", file=out)
+        for name in streams:
+            meta = db.stream_meta(name)
+            print(f"stream {name!r}: {meta.length} timesteps, "
+                  f"layout={meta.layout.value}, "
+                  f"attributes={list(meta.space.attributes)}", file=out)
+            for index in sorted(meta.indexes):
+                print(f"    index {index} {meta.indexes[index]}", file=out)
+        dims = db.dimension_tables()
+        for name, mapping in dims.items():
+            print(f"dimension table {name!r}: {len(mapping)} entries",
+                  file=out)
+        total = sum(db.storage_report().values())
+        print(f"total on disk: {total / 2**20:.2f} MiB "
+              f"across {len(db.storage_report())} files", file=out)
+    return 0
+
+
+def cmd_import(args, out) -> int:
+    from .streams import load_stream
+
+    stream = load_stream(args.stream_json)
+    with Caldera(args.db) as db:
+        db.archive(stream, layout=args.layout, btp=not args.no_btp,
+                   mc_alpha=args.mc_alpha)
+    print(f"imported {stream.name!r}: {len(stream)} timesteps", file=out)
+    return 0
+
+
+def cmd_export(args, out) -> int:
+    from .streams import dump_stream
+
+    with Caldera(args.db) as db:
+        stream = db.reader(args.stream).materialize()
+    dump_stream(stream, args.output)
+    print(f"exported {args.stream!r} to {args.output}", file=out)
+    return 0
+
+
+def cmd_query(args, out) -> int:
+    with Caldera(args.db) as db:
+        result = db.query(
+            args.stream, args.query, method=args.method, k=args.k,
+            threshold=args.threshold, cold=args.cold,
+            start=args.start, stop=args.stop,
+        )
+        print(f"method: {result.method}; {result.stats.summary()}", file=out)
+        top = result.top(args.limit)
+        if not top:
+            print("no matches", file=out)
+        else:
+            print(f"top {len(top)} matches:", file=out)
+            for t, p in top:
+                print(f"  t={t:6d}  p={p:.4f}", file=out)
+        if args.events is not None:
+            events = detect_events(result, enter=args.events)
+            print(f"{len(events)} event(s) at enter={args.events}:", file=out)
+            for event in events:
+                print(f"  {event}", file=out)
+    return 0
+
+
+def cmd_plan(args, out) -> int:
+    with Caldera(args.db) as db:
+        decision = db.explain(args.stream, args.query, k=args.k)
+        print(f"{decision.name}: {decision.reason}", file=out)
+    return 0
+
+
+def cmd_density(args, out) -> int:
+    with Caldera(args.db) as db:
+        density = db.data_density(args.stream, args.query)
+        print(f"{density:.4f}", file=out)
+    return 0
+
+
+def cmd_drop(args, out) -> int:
+    with Caldera(args.db) as db:
+        db.drop_stream(args.stream)
+        print(f"dropped {args.stream!r}", file=out)
+    return 0
+
+
+_COMMANDS = {
+    "demo": cmd_demo,
+    "info": cmd_info,
+    "import": cmd_import,
+    "export": cmd_export,
+    "query": cmd_query,
+    "plan": cmd_plan,
+    "density": cmd_density,
+    "drop": cmd_drop,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

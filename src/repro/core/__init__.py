@@ -1,0 +1,27 @@
+"""The Caldera engine: catalog-backed archiving, planning, and querying."""
+
+from .engine import Caldera
+from .events import (
+    ApproximationReport,
+    Event,
+    approximation_report,
+    detect_events,
+    expected_count,
+    find_peaks,
+    signal_correlation,
+)
+from .planner import PlanDecision, method_by_name, plan
+
+__all__ = [
+    "ApproximationReport",
+    "Caldera",
+    "Event",
+    "PlanDecision",
+    "approximation_report",
+    "detect_events",
+    "expected_count",
+    "find_peaks",
+    "method_by_name",
+    "plan",
+    "signal_correlation",
+]

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro (Caldera) package.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything from this package with a single handler.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class StorageError(ReproError):
+    """A low-level storage failure (pager, buffer pool, B+ tree)."""
+
+
+class PageError(StorageError):
+    """An invalid page id, corrupt page image, or page-size violation."""
+
+
+class KeyEncodingError(StorageError):
+    """A value could not be encoded into an order-preserving key."""
+
+
+class CatalogError(ReproError):
+    """A named stream, index, or dimension table was missing or duplicated."""
+
+
+class QueryError(ReproError):
+    """A malformed Regular query or predicate."""
+
+
+class PlanningError(ReproError):
+    """No access method can execute the requested query (e.g., missing indexes)."""
+
+
+class StreamError(ReproError):
+    """A malformed Markovian stream (bad distribution, misaligned CPTs)."""
+
+
+class InferenceError(ReproError):
+    """HMM smoothing / particle filtering failed (e.g., impossible evidence)."""

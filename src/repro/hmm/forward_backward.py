@@ -1,0 +1,269 @@
+"""Forward-backward (Bayesian) smoothing of observation sequences.
+
+This is the offline post-processing step of the paper's pipeline (Fig 1):
+raw sensor readings go in, a *Markovian stream* — smoothed marginals plus
+pairwise conditional probability tables — comes out.
+
+Given an HMM and observations ``o_0 .. o_{T-1}``:
+
+- forward:   ``alpha_t(x) ∝ p(x_t = x, o_{0..t})``
+- backward:  ``beta_t(x)  ∝ p(o_{t+1..T-1} | x_t = x)``
+- smoothed marginal: ``gamma_t ∝ alpha_t * beta_t``
+- pairwise joint: ``xi_t(x,y) ∝ alpha_t(x) A(x,y) L_{t+1}(y) beta_{t+1}(y)``
+
+The stream CPT row for source ``x`` is ``xi_t(x, ·)`` normalized; by
+construction ``gamma_{t+1} = gamma_t · C_t`` exactly, which is the
+consistency invariant :class:`~repro.streams.markovian.MarkovianStream`
+validates.
+
+Supports are pruned below ``prune`` (then renormalized) to keep the
+archived stream sparse — mirroring how sample-based inference naturally
+yields small supports (Fig 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import InferenceError
+from ..probability import CPT, SparseDistribution
+from ..streams.markovian import MarkovianStream
+from ..streams.schema import StateSpace
+from .model import HiddenMarkovModel
+
+
+def smooth(
+    hmm: HiddenMarkovModel,
+    observations: Sequence,
+    space: StateSpace,
+    name: str = "stream",
+    prune: float = 1e-6,
+    on_impossible: str = "skip",
+) -> MarkovianStream:
+    """Smooth observations into a Markovian stream.
+
+    Parameters
+    ----------
+    hmm:
+        The model; its state ids must match ``space``.
+    observations:
+        One observation per timestep. ``None`` (or anything the emission
+        model scores as uninformative) marks a gap in sensor coverage.
+    space:
+        State space attached to the output stream.
+    name:
+        Output stream name.
+    prune:
+        Smoothed-marginal probabilities below this are dropped and the
+        distributions renormalized.
+    on_impossible:
+        What to do when an observation has zero likelihood under every
+        reachable state: ``"skip"`` treats it as missing (robust default
+        for noisy deployments), ``"raise"`` raises
+        :class:`~repro.errors.InferenceError`.
+    """
+    if not observations:
+        raise InferenceError("need at least one observation (may be None)")
+    if on_impossible not in ("skip", "raise"):
+        raise InferenceError(f"bad on_impossible mode: {on_impossible}")
+    if len(space) < hmm.num_states:
+        raise InferenceError(
+            f"state space has {len(space)} states but HMM has {hmm.num_states}"
+        )
+
+    T = len(observations)
+    likes: List[Optional[SparseDistribution]] = [
+        hmm.evidence_vector(o) for o in observations
+    ]
+
+    # The backward pass can *numerically* rule out an observation: over
+    # hundreds of steps the dynamic range inside a (per-step rescaled)
+    # beta vector exceeds float range, the low-probability branch
+    # underflows to exact zero, and a later reading that only that branch
+    # explains leaves no consistent state. When that happens we treat the
+    # conflicting observation as missing (the same robustness policy as
+    # the forward pass) and rerun, so forward and backward always use the
+    # same evidence.
+    for _attempt in range(max(3, T)):
+        try:
+            return _smooth_once(hmm, likes, space, name, prune)
+        except _BackwardConflict as conflict:
+            if on_impossible == "raise":
+                raise InferenceError(
+                    f"evidence at timestep {conflict.time} is inconsistent "
+                    "with the rest of the stream"
+                ) from None
+            likes[conflict.time] = None
+    raise InferenceError("smoothing failed to converge after retries")
+
+
+class _BackwardConflict(Exception):
+    """Internal: the backward pass found no state explaining timestep t."""
+
+    def __init__(self, time: int) -> None:
+        self.time = time
+
+
+#: Beta entries below ``max * _BETA_PRUNE`` are dropped: their posterior
+#: contribution is negligible and keeping them only feeds underflow.
+_BETA_PRUNE = 1e-120
+
+
+def _smooth_once(
+    hmm: HiddenMarkovModel,
+    likes: List[Optional[SparseDistribution]],
+    space: StateSpace,
+    name: str,
+    prune: float,
+) -> MarkovianStream:
+    T = len(likes)
+
+    # ---- forward pass ------------------------------------------------
+    alphas: List[SparseDistribution] = []
+    current = hmm.initial
+    for t in range(T):
+        if t > 0:
+            current = hmm.transition.apply(alphas[-1])
+        weighted = _apply_evidence(current, likes[t])
+        if not weighted:
+            raise _BackwardConflict(t)  # forward-impossible evidence
+        alphas.append(weighted.normalize())
+
+    # ---- backward pass -----------------------------------------------
+    betas: List[Optional[SparseDistribution]] = [None] * T
+    betas[T - 1] = None  # None encodes the all-ones vector
+    for t in range(T - 2, -1, -1):
+        nxt = betas[t + 1]
+        like = likes[t + 1]
+        # beta_t(x) = sum_y A(x,y) * L_{t+1}(y) * beta_{t+1}(y)
+        acc: Dict[int, float] = {}
+        for x, row in hmm.transition.rows():
+            total = 0.0
+            for y, p in row.items():
+                w = p
+                if like is not None:
+                    ly = like.prob(y)
+                    if ly <= 0.0:
+                        continue
+                    w *= ly
+                if nxt is not None:
+                    by = nxt.prob(y)
+                    if by <= 0.0:
+                        continue
+                    w *= by
+                total += w
+            if total > 0.0:
+                acc[x] = total
+        if not acc:
+            # No state at t explains the (numerically surviving) future:
+            # the observation at t+1 conflicts; retry without it.
+            raise _BackwardConflict(t + 1)
+        # Rescale for stability and drop posterior-negligible entries —
+        # their relative magnitude only feeds underflow (see smooth()).
+        top = max(acc.values())
+        floor = top * _BETA_PRUNE
+        betas[t] = SparseDistribution(
+            {x: v / top for x, v in acc.items() if v >= floor}
+        )
+
+    # ---- smoothed marginals and pairwise CPTs --------------------------
+    gammas: List[SparseDistribution] = []
+    for t in range(T):
+        beta = betas[t]
+        gamma = alphas[t] if beta is None else _pointwise(alphas[t], beta)
+        if not gamma:
+            raise InferenceError(f"smoothed marginal vanished at timestep {t}")
+        gammas.append(gamma.normalize())
+
+    supports = [_pruned_support(g, prune) for g in gammas]
+
+    cpts: List[CPT] = []
+    for t in range(T - 1):
+        like = likes[t + 1]
+        beta_next = betas[t + 1]
+        rows: Dict[int, Dict[int, float]] = {}
+        for x in supports[t]:
+            alpha_x = alphas[t].prob(x)
+            if alpha_x <= 0.0:
+                continue
+            row_out: Dict[int, float] = {}
+            for y, p in hmm.transition.row(x).items():
+                if y not in supports[t + 1]:
+                    continue
+                w = p
+                if like is not None:
+                    ly = like.prob(y)
+                    if ly <= 0.0:
+                        continue
+                    w *= ly
+                if beta_next is not None:
+                    by = beta_next.prob(y)
+                    if by <= 0.0:
+                        continue
+                    w *= by
+                if w > 0.0:
+                    row_out[y] = w
+            if row_out:
+                total = sum(row_out.values())
+                rows[x] = {y: w / total for y, w in row_out.items()}
+        cpts.append(CPT(rows))
+
+    # Repair dangling sources: drop support states with no surviving
+    # successor (pruning may have removed them all), walking backward so
+    # repairs cascade; then rebuild each CPT restricted to the repaired
+    # supports with rows renormalized.
+    for t in range(T - 2, -1, -1):
+        alive = frozenset(
+            x
+            for x in supports[t]
+            if any(y in supports[t + 1] for y in cpts[t].row(x).support())
+        )
+        if not alive:
+            raise InferenceError(f"pruning emptied the support at timestep {t}")
+        supports[t] = alive
+    for t in range(T - 1):
+        rows: Dict[int, Dict[int, float]] = {}
+        for x in supports[t]:
+            row = {
+                y: p
+                for y, p in cpts[t].row(x).items()
+                if y in supports[t + 1]
+            }
+            total = sum(row.values())
+            if total > 0.0:
+                rows[x] = {y: p / total for y, p in row.items()}
+        cpts[t] = CPT(rows)
+
+    # Final marginals: renormalize the pruned gamma at t=0, then propagate
+    # through the CPTs so that the stream's consistency invariant holds
+    # exactly.
+    marginals: List[SparseDistribution] = [
+        gammas[0].restrict_to(supports[0]).normalize()
+    ]
+    for t in range(T - 1):
+        marginals.append(cpts[t].apply(marginals[-1]))
+
+    return MarkovianStream(name, space, marginals, cpts, validate=False)
+
+
+def _apply_evidence(
+    prior: SparseDistribution, like: Optional[SparseDistribution]
+) -> SparseDistribution:
+    if like is None:
+        return prior
+    return SparseDistribution(
+        {s: p * like.prob(s) for s, p in prior.items() if like.prob(s) > 0.0}
+    )
+
+
+def _pointwise(a: SparseDistribution, b: SparseDistribution) -> SparseDistribution:
+    return SparseDistribution(
+        {s: p * b.prob(s) for s, p in a.items() if b.prob(s) > 0.0}
+    )
+
+
+def _pruned_support(dist: SparseDistribution, prune: float) -> frozenset:
+    kept = frozenset(s for s, p in dist.items() if p >= prune)
+    if kept:
+        return kept
+    return frozenset({dist.max_state()[0]})

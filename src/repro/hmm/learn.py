@@ -1,0 +1,244 @@
+"""HMM parameter learning: sequence likelihood and Baum-Welch.
+
+The paper treats HMM construction as orthogonal (§2.1, citing Rabiner's
+tutorial), but a deployment needs to *fit* the model: transition
+probabilities from observed movement patterns, emission probabilities
+from sensor characteristics. This module provides the standard tools:
+
+- :func:`log_likelihood` — the forward algorithm's normalizer:
+  ``log p(o_1..o_T)`` under a model (model comparison, convergence
+  monitoring);
+- :func:`baum_welch` — expectation-maximization over one or more
+  observation sequences, re-estimating the initial distribution, the
+  transition CPT (restricted to the existing support — physical
+  constraints like walls are never invented away), and optionally a
+  :class:`~repro.hmm.model.TabularEmission` table.
+
+Likelihoods are computed with per-step rescaling (no underflow on long
+sequences); EM is guaranteed not to decrease the data likelihood, which
+the tests assert.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..errors import InferenceError
+from ..probability import CPT, SparseDistribution
+from .model import EmissionModel, HiddenMarkovModel, TabularEmission
+
+
+def _forward_scaled(
+    hmm: HiddenMarkovModel, observations: Sequence
+) -> Tuple[List[SparseDistribution], float]:
+    """Scaled forward pass; returns (filtered alphas, log-likelihood)."""
+    if not observations:
+        raise InferenceError("need at least one observation")
+    alphas: List[SparseDistribution] = []
+    log_like = 0.0
+    current = hmm.initial
+    for t, obs in enumerate(observations):
+        if t > 0:
+            current = hmm.transition.apply(alphas[-1])
+        like = hmm.evidence_vector(obs)
+        if like is None:
+            weighted = current
+        else:
+            weighted = SparseDistribution(
+                {s: p * like.prob(s) for s, p in current.items()
+                 if like.prob(s) > 0.0}
+            )
+        mass = weighted.total_mass
+        if mass <= 0.0:
+            raise InferenceError(f"impossible evidence at timestep {t}")
+        log_like += math.log(mass)
+        alphas.append(weighted.scale(1.0 / mass))
+    return alphas, log_like
+
+
+def log_likelihood(hmm: HiddenMarkovModel, observations: Sequence) -> float:
+    """``log p(observations)`` under the model (forward algorithm)."""
+    return _forward_scaled(hmm, observations)[1]
+
+
+def baum_welch(
+    hmm: HiddenMarkovModel,
+    sequences: Sequence[Sequence],
+    iterations: int = 10,
+    learn_emissions: bool = False,
+    pseudocount: float = 1e-6,
+    tol: float = 1e-6,
+) -> Tuple[HiddenMarkovModel, List[float]]:
+    """Fit HMM parameters to observation sequences by EM.
+
+    Parameters
+    ----------
+    hmm:
+        The starting model. Transition re-estimation is restricted to
+        the support of its transition CPT (zero entries stay zero — the
+        floorplan's physical constraints are data, not parameters).
+    sequences:
+        One or more observation sequences.
+    iterations:
+        Maximum EM iterations.
+    learn_emissions:
+        Also re-estimate the emission table. Requires the model's
+        emission to be a :class:`TabularEmission`; observations must be
+        hashable symbols (``None`` entries are treated as missing and do
+        not contribute to emission counts).
+    pseudocount:
+        Dirichlet smoothing added to every permitted count, keeping the
+        support intact when an arc is unobserved.
+    tol:
+        Stop early when the total log-likelihood improves by less.
+
+    Returns
+    -------
+    (fitted model, per-iteration total log-likelihoods) — the list has
+    one entry per completed iteration and is non-decreasing (within
+    floating-point tolerance).
+    """
+    if not sequences or any(len(s) == 0 for s in sequences):
+        raise InferenceError("need non-empty observation sequences")
+    if iterations < 1:
+        raise InferenceError("iterations must be >= 1")
+    if learn_emissions and not isinstance(hmm.emission, TabularEmission):
+        raise InferenceError(
+            "learn_emissions requires a TabularEmission model"
+        )
+
+    current = hmm
+    history: List[float] = []
+    for _ in range(iterations):
+        total_ll, current = _em_step(current, sequences, learn_emissions,
+                                     pseudocount)
+        if history and total_ll < history[-1] - 1e-9:
+            # Should not happen (EM guarantee); guard against numerics.
+            break
+        improved = not history or total_ll - history[-1] > tol
+        history.append(total_ll)
+        if not improved and len(history) > 1:
+            break
+    return current, history
+
+
+def _em_step(
+    hmm: HiddenMarkovModel,
+    sequences: Sequence[Sequence],
+    learn_emissions: bool,
+    pseudocount: float,
+) -> Tuple[float, HiddenMarkovModel]:
+    """One E+M step; returns (log-likelihood of the *input* model,
+    re-estimated model)."""
+    init_counts: Dict[int, float] = {}
+    trans_counts: Dict[int, Dict[int, float]] = {}
+    emit_counts: Dict[Hashable, Dict[int, float]] = {}
+    total_ll = 0.0
+
+    for observations in sequences:
+        alphas, ll = _forward_scaled(hmm, observations)
+        total_ll += ll
+        T = len(observations)
+        likes = [hmm.evidence_vector(o) for o in observations]
+
+        # Scaled backward pass over the filtered supports.
+        betas: List[Optional[SparseDistribution]] = [None] * T
+        for t in range(T - 2, -1, -1):
+            nxt = betas[t + 1]
+            like = likes[t + 1]
+            acc: Dict[int, float] = {}
+            for x in alphas[t].support():
+                total = 0.0
+                for y, p in hmm.transition.row(x).items():
+                    w = p
+                    if like is not None:
+                        ly = like.prob(y)
+                        if ly <= 0.0:
+                            continue
+                        w *= ly
+                    if nxt is not None:
+                        by = nxt.prob(y)
+                        if by <= 0.0:
+                            continue
+                        w *= by
+                    total += w
+                if total > 0.0:
+                    acc[x] = total
+            if not acc:
+                raise InferenceError(
+                    "EM backward pass vanished; evidence inconsistent"
+                )
+            top = max(acc.values())
+            betas[t] = SparseDistribution(
+                {x: v / top for x, v in acc.items()}
+            )
+
+        # Gamma / xi accumulation.
+        for t in range(T):
+            beta = betas[t]
+            if beta is None:
+                gamma = alphas[t]
+            else:
+                gamma = SparseDistribution(
+                    {s: p * beta.prob(s) for s, p in alphas[t].items()
+                     if beta.prob(s) > 0.0}
+                ).normalize()
+            if t == 0:
+                for s, p in gamma.items():
+                    init_counts[s] = init_counts.get(s, 0.0) + p
+            if learn_emissions and observations[t] is not None:
+                row = emit_counts.setdefault(observations[t], {})
+                for s, p in gamma.items():
+                    row[s] = row.get(s, 0.0) + p
+            if t < T - 1:
+                like = likes[t + 1]
+                nxt = betas[t + 1]
+                raw: Dict[Tuple[int, int], float] = {}
+                for x, ax in alphas[t].items():
+                    for y, p in hmm.transition.row(x).items():
+                        w = ax * p
+                        if like is not None:
+                            ly = like.prob(y)
+                            if ly <= 0.0:
+                                continue
+                            w *= ly
+                        if nxt is not None:
+                            by = nxt.prob(y)
+                            if by <= 0.0:
+                                continue
+                            w *= by
+                        if w > 0.0:
+                            raw[(x, y)] = w
+                z = sum(raw.values())
+                if z > 0.0:
+                    for (x, y), w in raw.items():
+                        row = trans_counts.setdefault(x, {})
+                        row[y] = row.get(y, 0.0) + w / z
+
+    # ---- M step --------------------------------------------------------
+    new_initial = SparseDistribution(
+        {s: c for s, c in init_counts.items()}
+    ).normalize()
+
+    new_rows: Dict[int, Dict[int, float]] = {}
+    for x, permitted in hmm.transition.rows():
+        counts = trans_counts.get(x, {})
+        row = {y: counts.get(y, 0.0) + pseudocount for y in permitted}
+        total = sum(row.values())
+        new_rows[x] = {y: c / total for y, c in row.items()}
+    new_transition = CPT(new_rows)
+
+    emission: EmissionModel = hmm.emission
+    if learn_emissions:
+        table: Dict[Hashable, Dict[int, float]] = {}
+        for symbol, row in emit_counts.items():
+            table[symbol] = {
+                s: c + pseudocount for s, c in row.items() if c > 0.0
+            }
+        emission = TabularEmission(table, default_uniform=True)
+
+    fitted = HiddenMarkovModel(
+        hmm.num_states, new_initial, new_transition, emission
+    )
+    return total_ll, fitted

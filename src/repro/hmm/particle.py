@@ -1,0 +1,157 @@
+"""Sample-based (particle) inference over HMMs.
+
+This is the class of algorithms the paper uses to illustrate Markovian
+stream generation (Fig 2): *samples* — guesses about the hidden state —
+move through the state space at each timestep and congregate in regions
+consistent with the sensor readings; marginals are sample counts divided
+by the number of samples.
+
+:func:`particle_smooth` runs a bootstrap particle filter with systematic
+resampling, then traces each surviving particle's genealogy backward to
+obtain equally-weighted smoothed trajectories. Marginals are per-timestep
+trajectory counts; CPTs are per-timestep transition counts. (Genealogy
+smoothing degenerates for timesteps far in the past relative to the
+number of particles — the well-known path-degeneracy effect — which is
+why the exact :func:`~repro.hmm.forward_backward.smooth` is the default
+stream generator in this repo; the particle path exists to reproduce the
+paper's sample-based narrative and for cross-validation in tests.)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import InferenceError
+from ..probability import CPT, SparseDistribution
+from ..streams.markovian import MarkovianStream
+from ..streams.schema import StateSpace
+from .model import HiddenMarkovModel, _sample
+
+
+def particle_filter(
+    hmm: HiddenMarkovModel,
+    observations: Sequence,
+    num_particles: int = 500,
+    rng: Optional[random.Random] = None,
+    on_impossible: str = "skip",
+) -> Tuple[List[List[int]], List[List[int]]]:
+    """Run a bootstrap particle filter.
+
+    Returns ``(particles, ancestors)`` where ``particles[t]`` is the list
+    of particle states after resampling at timestep ``t`` and
+    ``ancestors[t][i]`` is the index at ``t-1`` of particle ``i``'s
+    parent (``ancestors[0]`` is all ``-1``).
+    """
+    if num_particles <= 0:
+        raise InferenceError("num_particles must be positive")
+    if not observations:
+        raise InferenceError("need at least one observation")
+    rng = rng if rng is not None else random.Random(0)
+
+    particles: List[List[int]] = []
+    ancestors: List[List[int]] = []
+
+    states = [_sample(hmm.initial, rng) for _ in range(num_particles)]
+    weights = _weight(hmm, states, observations[0], on_impossible)
+    idx = _systematic_resample(weights, rng)
+    particles.append([states[i] for i in idx])
+    ancestors.append([-1] * num_particles)
+
+    for t in range(1, len(observations)):
+        prev = particles[-1]
+        proposed = []
+        for state in prev:
+            row = hmm.transition.row(state)
+            if not row:
+                raise InferenceError(f"state {state} has no outgoing transitions")
+            proposed.append(_sample(row, rng))
+        weights = _weight(hmm, proposed, observations[t], on_impossible)
+        idx = _systematic_resample(weights, rng)
+        particles.append([proposed[i] for i in idx])
+        ancestors.append(list(idx))
+    return particles, ancestors
+
+
+def particle_smooth(
+    hmm: HiddenMarkovModel,
+    observations: Sequence,
+    space: StateSpace,
+    name: str = "stream",
+    num_particles: int = 500,
+    rng: Optional[random.Random] = None,
+    on_impossible: str = "skip",
+) -> MarkovianStream:
+    """Smooth observations into a Markovian stream via particle genealogy."""
+    particles, ancestors = particle_filter(
+        hmm, observations, num_particles=num_particles, rng=rng,
+        on_impossible=on_impossible,
+    )
+    T = len(particles)
+    n = len(particles[0])
+
+    # Trace each final particle's ancestry into a full trajectory.
+    trajectories = [[0] * T for _ in range(n)]
+    current = list(range(n))
+    for t in range(T - 1, -1, -1):
+        for i in range(n):
+            trajectories[i][t] = particles[t][current[i]]
+        if t > 0:
+            current = [ancestors[t][c] for c in current]
+
+    # Count marginals and transitions.
+    marginals: List[SparseDistribution] = []
+    for t in range(T):
+        counts: Dict[int, int] = {}
+        for traj in trajectories:
+            counts[traj[t]] = counts.get(traj[t], 0) + 1
+        marginals.append(SparseDistribution.from_counts(counts))
+
+    cpts: List[CPT] = []
+    for t in range(T - 1):
+        pair_counts: Dict[int, Dict[int, int]] = {}
+        for traj in trajectories:
+            row = pair_counts.setdefault(traj[t], {})
+            row[traj[t + 1]] = row.get(traj[t + 1], 0) + 1
+        rows = {
+            src: {dst: c / sum(row.values()) for dst, c in row.items()}
+            for src, row in pair_counts.items()
+        }
+        cpts.append(CPT(rows))
+
+    return MarkovianStream(name, space, marginals, cpts, validate=False)
+
+
+def _weight(
+    hmm: HiddenMarkovModel, states: Sequence[int], observation, on_impossible: str
+) -> List[float]:
+    like = hmm.evidence_vector(observation)
+    if like is None:
+        return [1.0] * len(states)
+    weights = [like.prob(s) for s in states]
+    if sum(weights) <= 0.0:
+        if on_impossible == "raise":
+            raise InferenceError("all particles have zero likelihood")
+        return [1.0] * len(states)
+    return weights
+
+
+def _systematic_resample(weights: Sequence[float], rng: random.Random) -> List[int]:
+    """Systematic resampling: low-variance, O(n)."""
+    n = len(weights)
+    total = sum(weights)
+    if total <= 0.0:
+        raise InferenceError("cannot resample zero-mass weights")
+    step = total / n
+    u = rng.random() * step
+    idx: List[int] = []
+    acc = 0.0
+    j = 0
+    for i in range(n):
+        acc += weights[i]
+        while j < n and u + j * step < acc:
+            idx.append(i)
+            j += 1
+    while len(idx) < n:  # numerical slack
+        idx.append(n - 1)
+    return idx

@@ -1,0 +1,73 @@
+"""Viterbi decoding: the single most likely hidden trajectory.
+
+Not part of the paper's query pipeline (Caldera queries the full
+posterior, not a point estimate), but standard HMM tooling that the
+examples use to sanity-check simulated ground truth against smoothed
+streams.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import InferenceError
+from .model import HiddenMarkovModel
+
+
+def viterbi(hmm: HiddenMarkovModel, observations: Sequence) -> List[int]:
+    """Return the maximum a-posteriori state sequence.
+
+    Works in log space over the sparse transition structure. ``None``
+    observations (or uninformative evidence) leave all states equally
+    likely at that step.
+    """
+    if not observations:
+        raise InferenceError("need at least one observation")
+
+    def log_evidence(t: int) -> Optional[Dict[int, float]]:
+        vec = hmm.evidence_vector(observations[t])
+        if vec is None:
+            return None
+        return {s: math.log(p) for s, p in vec.items()}
+
+    like0 = log_evidence(0)
+    scores: Dict[int, float] = {}
+    back: List[Dict[int, int]] = []
+    for state, p in hmm.initial.items():
+        lp = math.log(p)
+        if like0 is not None:
+            le = like0.get(state)
+            if le is None:
+                continue
+            lp += le
+        scores[state] = lp
+    if not scores:
+        raise InferenceError("impossible evidence at timestep 0")
+
+    for t in range(1, len(observations)):
+        like = log_evidence(t)
+        nxt: Dict[int, float] = {}
+        ptr: Dict[int, int] = {}
+        for src, score in scores.items():
+            for dst, p in hmm.transition.row(src).items():
+                cand = score + math.log(p)
+                if like is not None:
+                    le = like.get(dst)
+                    if le is None:
+                        continue
+                    cand += le
+                if dst not in nxt or cand > nxt[dst]:
+                    nxt[dst] = cand
+                    ptr[dst] = src
+        if not nxt:
+            raise InferenceError(f"impossible evidence at timestep {t}")
+        scores = nxt
+        back.append(ptr)
+
+    best = max(scores, key=scores.get)
+    path = [best]
+    for ptr in reversed(back):
+        path.append(ptr[path[-1]])
+    path.reverse()
+    return path

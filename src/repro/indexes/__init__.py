@@ -1,0 +1,35 @@
+"""Secondary indexes on Markovian streams: BT_C, BT_P, and the MC index."""
+
+from .base import (
+    IndexedAttribute,
+    btc_tree_name,
+    btp_tree_name,
+    mc_tree_name,
+    resolve_indexed_attribute,
+)
+from .btc import BTCIndex, ChronoCursor, PredicateChronoCursor
+from .btp import BTPIndex, PredicateProbCursor, ProbCursor
+from .builder import build_btc, build_btp, build_mc, open_btc, open_btp, open_mc
+from .mc import MCIndex, MCLookupStats
+
+__all__ = [
+    "BTCIndex",
+    "BTPIndex",
+    "ChronoCursor",
+    "IndexedAttribute",
+    "MCIndex",
+    "MCLookupStats",
+    "PredicateChronoCursor",
+    "PredicateProbCursor",
+    "ProbCursor",
+    "btc_tree_name",
+    "btp_tree_name",
+    "build_btc",
+    "build_btp",
+    "build_mc",
+    "mc_tree_name",
+    "open_btc",
+    "open_btp",
+    "open_mc",
+    "resolve_indexed_attribute",
+]

@@ -1,0 +1,133 @@
+"""Index construction and opening helpers.
+
+These functions tie the index classes to a storage environment and the
+stream archive. The Caldera engine calls them and records the built
+indexes in the catalog; they are also usable standalone (see the tests
+and benchmarks, which build indexes directly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..errors import CatalogError
+from ..query.predicates import Predicate
+from ..storage import StorageEnvironment
+from ..streams.archive import StreamReader
+from ..streams.schema import StateSpace
+from .base import (
+    IndexedAttribute,
+    btc_tree_name,
+    btp_tree_name,
+    mc_tree_name,
+    resolve_indexed_attribute,
+)
+from .btc import BTCIndex
+from .btp import BTPIndex
+from .mc import MCIndex
+
+
+def build_btc(
+    env: StorageEnvironment,
+    stream_name: str,
+    space: StateSpace,
+    indexed_attr: str,
+    marginals: Iterable[Tuple[int, "SparseDistribution"]],
+    dimensions: Optional[Dict[str, Dict]] = None,
+) -> BTCIndex:
+    """Build a BT_C index over the given indexed attribute."""
+    name = btc_tree_name(stream_name, indexed_attr)
+    if env.exists(name):
+        raise CatalogError(f"index {name!r} already exists")
+    indexed = resolve_indexed_attribute(space, indexed_attr, dimensions)
+    index = BTCIndex(env.open_tree(name), indexed)
+    index.build(marginals)
+    return index
+
+
+def open_btc(
+    env: StorageEnvironment,
+    stream_name: str,
+    space: StateSpace,
+    indexed_attr: str,
+    dimensions: Optional[Dict[str, Dict]] = None,
+) -> BTCIndex:
+    """Open an existing BT_C index."""
+    name = btc_tree_name(stream_name, indexed_attr)
+    indexed = resolve_indexed_attribute(space, indexed_attr, dimensions)
+    return BTCIndex(env.open_tree(name, create=False), indexed)
+
+
+def build_btp(
+    env: StorageEnvironment,
+    stream_name: str,
+    space: StateSpace,
+    indexed_attr: str,
+    marginals: Iterable[Tuple[int, "SparseDistribution"]],
+    dimensions: Optional[Dict[str, Dict]] = None,
+) -> BTPIndex:
+    """Build a BT_P index over the given indexed attribute."""
+    name = btp_tree_name(stream_name, indexed_attr)
+    if env.exists(name):
+        raise CatalogError(f"index {name!r} already exists")
+    indexed = resolve_indexed_attribute(space, indexed_attr, dimensions)
+    index = BTPIndex(env.open_tree(name), indexed)
+    index.build(marginals)
+    return index
+
+
+def open_btp(
+    env: StorageEnvironment,
+    stream_name: str,
+    space: StateSpace,
+    indexed_attr: str,
+    dimensions: Optional[Dict[str, Dict]] = None,
+) -> BTPIndex:
+    """Open an existing BT_P index."""
+    name = btp_tree_name(stream_name, indexed_attr)
+    indexed = resolve_indexed_attribute(space, indexed_attr, dimensions)
+    return BTPIndex(env.open_tree(name, create=False), indexed)
+
+
+def build_mc(
+    env: StorageEnvironment,
+    stream_name: str,
+    reader: StreamReader,
+    alpha: int = 2,
+    predicate: Optional[Predicate] = None,
+    space: Optional[StateSpace] = None,
+) -> MCIndex:
+    """Build the MC index (or a predicate-conditioned variant)."""
+    signature = predicate.signature() if predicate is not None else None
+    name = mc_tree_name(stream_name, signature)
+    if env.exists(name):
+        raise CatalogError(f"index {name!r} already exists")
+    accept = None
+    if predicate is not None:
+        if space is None:
+            raise CatalogError("conditioned MC index needs the state space")
+        accept = predicate.matching_states(space)
+    index = MCIndex(env.open_tree(name), alpha, reader.length, accept_states=accept)
+    index.build(reader)
+    return index
+
+
+def open_mc(
+    env: StorageEnvironment,
+    stream_name: str,
+    alpha: int,
+    length: int,
+    predicate: Optional[Predicate] = None,
+    space: Optional[StateSpace] = None,
+) -> MCIndex:
+    """Open an existing MC index."""
+    signature = predicate.signature() if predicate is not None else None
+    name = mc_tree_name(stream_name, signature)
+    accept = None
+    if predicate is not None:
+        if space is None:
+            raise CatalogError("conditioned MC index needs the state space")
+        accept = predicate.matching_states(space)
+    return MCIndex(
+        env.open_tree(name, create=False), alpha, length, accept_states=accept
+    )

@@ -2,19 +2,24 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench figures figures-full examples clean
+.PHONY: install test test-fast bench bench-storage figures figures-full \
+	examples clean
 
 install:
 	$(PYTHON) -m pip install -e ".[dev]"
 
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 test-fast:
-	$(PYTHON) -m pytest tests/ -m "not slow" -x -q
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m "not slow" -x -q
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only \
+		-o python_files="test_*.py bench_*.py"
+
+bench-storage:
+	PYTHONPATH=src $(PYTHON) -m benchmarks.bench_storage_micro
 
 figures:
 	$(PYTHON) -m benchmarks.run_all

@@ -1,0 +1,212 @@
+"""Storage-engine microbenchmarks: the costs every access method pays.
+
+Four experiments over a bulk-loaded tree of ``N`` entries:
+
+1. Point lookups — logical page reads per ``get`` must equal the tree
+   height (one page per level), cold or warm.
+2. Full range scan — a cold scan reads exactly one physical page per
+   leaf (the leaf chain, no descent); a warm repeat is served entirely
+   from the buffer pool (0 physical reads).
+3. Build strategy — bottom-up bulk loading vs random-order incremental
+   inserts: build time, leaf count, and the resulting fill factor.
+4. Buffer-pool hit rate vs pool size under a skewed point-lookup
+   workload — the knob Figure 10's cold/warm split turns on.
+
+Run directly (``make bench-storage``) or via the figure runner.
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+import tempfile
+import time
+
+from repro.storage import StorageEnvironment, encode_key
+
+from .harness import print_table, save_report
+
+N_ENTRIES = 120_000
+PAGE_SIZE = 4096
+N_LOOKUPS = 2_000
+POOL_SIZES = [32, 128, 512, 2048]
+
+
+def _items(n):
+    return [
+        (encode_key((i // 997, i)), f"marginal-{i:08d}".encode())
+        for i in range(n)
+    ]
+
+
+def _fill_factor(tree, items):
+    """Mean bytes of payload per leaf relative to the page size."""
+    payload = sum(len(k) + len(v) for k, v in items)
+    return payload / (tree.num_leaves * tree.pager.page_size)
+
+
+def _bench_lookups_and_scans(workdir, items):
+    env = StorageEnvironment(f"{workdir}/lookup", page_size=PAGE_SIZE,
+                             pool_pages=4 * len(items) // 100)
+    tree = env.open_tree("t")
+    tree.bulk_load(items)
+    rng = random.Random(42)
+    probes = [items[rng.randrange(len(items))] for _ in range(N_LOOKUPS)]
+
+    rows = []
+    for label, cold in (("cold", True), ("warm", False)):
+        if cold:
+            env.drop_caches()
+        snap = env.stats.snapshot()
+        start = time.perf_counter()
+        for key, value in probes:
+            assert tree.get(key) == value
+        wall = time.perf_counter() - start
+        delta = env.stats.delta(snap)
+        rows.append({
+            "op": f"point_lookup_{label}",
+            "wall_ms": wall * 1000.0,
+            "logical_reads_per_op": delta.logical_reads / len(probes),
+            "physical_reads_per_op": delta.physical_reads / len(probes),
+            "tree_height": tree.height,
+        })
+
+    scan = {"op": "full_scan", "tree_height": tree.height}
+    env.drop_caches()
+    snap = env.stats.snapshot()
+    start = time.perf_counter()
+    count = sum(1 for _ in tree.items())
+    scan["wall_ms_cold"] = (time.perf_counter() - start) * 1000.0
+    cold_io = env.stats.delta(snap)
+    assert count == len(items)
+    snap = env.stats.snapshot()
+    start = time.perf_counter()
+    sum(1 for _ in tree.items())
+    scan["wall_ms_warm"] = (time.perf_counter() - start) * 1000.0
+    warm_io = env.stats.delta(snap)
+    scan.update({
+        "leaf_pages": tree.num_leaves,
+        "scan_cold_physical_reads": cold_io.physical_reads,
+        "scan_warm_physical_reads": warm_io.physical_reads,
+        "scan_logical_reads": cold_io.logical_reads,
+    })
+    env.close()
+    return rows, scan
+
+
+def _bench_build(workdir, items):
+    rows = []
+    env = StorageEnvironment(f"{workdir}/build", page_size=PAGE_SIZE,
+                             pool_pages=1024)
+    for fill in (1.0, 0.67):
+        tree = env.open_tree(f"bulk_{int(fill * 100)}")
+        start = time.perf_counter()
+        tree.bulk_load(items, fill=fill)
+        tree.flush()
+        rows.append({
+            "strategy": f"bulk_load(fill={fill})",
+            "build_s": time.perf_counter() - start,
+            "leaf_pages": tree.num_leaves,
+            "height": tree.height,
+            "fill_factor": _fill_factor(tree, items),
+            "file_mb": env.file_size(tree.name) / 2**20,
+        })
+
+    tree = env.open_tree("incremental")
+    shuffled = items[:]
+    random.Random(7).shuffle(shuffled)
+    start = time.perf_counter()
+    for key, value in shuffled:
+        tree.put(key, value)
+    tree.flush()
+    rows.append({
+        "strategy": "incremental(random order)",
+        "build_s": time.perf_counter() - start,
+        "leaf_pages": tree.num_leaves,
+        "height": tree.height,
+        "fill_factor": _fill_factor(tree, items),
+        "file_mb": env.file_size(tree.name) / 2**20,
+    })
+    env.close()
+    return rows
+
+
+def _bench_pool_sizes(workdir, items):
+    rows = []
+    rng = random.Random(1234)
+    # Zipf-ish skew: most probes hit a small hot set.
+    hot = items[: len(items) // 20]
+    probes = [
+        pool[rng.randrange(len(pool))]
+        for pool in (hot if rng.random() < 0.8 else items
+                     for _ in range(N_LOOKUPS))
+    ]
+    for pool_pages in POOL_SIZES:
+        env = StorageEnvironment(f"{workdir}/pool_{pool_pages}",
+                                 page_size=PAGE_SIZE, pool_pages=pool_pages)
+        tree = env.open_tree("t")
+        tree.bulk_load(items)
+        env.drop_caches()
+        snap = env.stats.snapshot()
+        for key, _ in probes:
+            tree.get(key)
+        delta = env.stats.delta(snap)
+        rows.append({
+            "pool_pages": pool_pages,
+            "pool_mb": pool_pages * PAGE_SIZE / 2**20,
+            "hit_rate": delta.hit_rate,
+            "physical_reads": delta.physical_reads,
+            "logical_reads": delta.logical_reads,
+        })
+        env.close()
+    return rows
+
+
+def generate():
+    workdir = tempfile.mkdtemp(prefix="bench_storage_")
+    try:
+        items = _items(N_ENTRIES)
+        lookup_rows, scan_row = _bench_lookups_and_scans(workdir, items)
+        build_rows = _bench_build(workdir, items)
+        pool_rows = _bench_pool_sizes(workdir, items)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    text = print_table(
+        f"Point lookups ({N_ENTRIES} entries, {N_LOOKUPS} probes)",
+        lookup_rows,
+        columns=["op", "wall_ms", "logical_reads_per_op",
+                 "physical_reads_per_op", "tree_height"],
+    )
+    text += print_table(
+        "Full scan: cold reads one page per leaf, warm reads none",
+        [scan_row],
+        columns=["op", "leaf_pages", "scan_cold_physical_reads",
+                 "scan_warm_physical_reads", "wall_ms_cold", "wall_ms_warm"],
+    )
+    text += print_table(
+        "Build strategy: bulk load vs incremental inserts",
+        build_rows,
+        columns=["strategy", "build_s", "leaf_pages", "height",
+                 "fill_factor", "file_mb"],
+    )
+    text += print_table(
+        "Buffer-pool hit rate vs pool size (skewed point lookups)",
+        pool_rows,
+        columns=["pool_pages", "pool_mb", "hit_rate", "physical_reads",
+                 "logical_reads"],
+    )
+    data = {
+        "n_entries": N_ENTRIES,
+        "page_size": PAGE_SIZE,
+        "point_lookups": lookup_rows,
+        "full_scan": scan_row,
+        "build": build_rows,
+        "pool_sizes": pool_rows,
+    }
+    save_report("storage_micro", text, data)
+    return data
+
+
+if __name__ == "__main__":
+    generate()

@@ -1,0 +1,35 @@
+"""The page-based storage engine (Berkeley DB substitute).
+
+Layering, bottom-up: :mod:`~repro.storage.pager` (fixed-size pages over
+a file, free-list allocation) → :mod:`~repro.storage.buffer_pool` (LRU
+cache of decoded pages with pinning and an
+:class:`~repro.storage.stats.IOStats` logical/physical split) →
+:mod:`~repro.storage.btree` (variable-length-key B+ tree with
+bidirectional cursors, overflow chains, and bottom-up bulk loading) →
+:mod:`~repro.storage.env` (a directory of named trees sharing one pool
+and one counter). :mod:`~repro.storage.keyenc` supplies
+order-preserving composite keys; :mod:`~repro.storage.record` supplies
+length-prefixed value framing.
+"""
+
+from .btree import BTree, Cursor
+from .buffer_pool import DEFAULT_POOL_PAGES, BufferPool
+from .env import StorageEnvironment
+from .keyenc import Desc, decode_key, encode_key, prefix_upper_bound
+from .pager import DEFAULT_PAGE_SIZE, Pager
+from .stats import IOStats
+
+__all__ = [
+    "BTree",
+    "BufferPool",
+    "Cursor",
+    "DEFAULT_PAGE_SIZE",
+    "DEFAULT_POOL_PAGES",
+    "Desc",
+    "IOStats",
+    "Pager",
+    "StorageEnvironment",
+    "decode_key",
+    "encode_key",
+    "prefix_upper_bound",
+]

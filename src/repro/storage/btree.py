@@ -1,0 +1,753 @@
+"""A page-based B+ tree with variable-length keys and values.
+
+The Berkeley DB b-tree substitute (DESIGN.md substitution 1). Keys and
+values are byte strings; keys compare raw (see
+:mod:`~repro.storage.keyenc` for order-preserving composite keys).
+
+Layout and behavior:
+
+- **Leaves are doubly linked**, so range cursors run forward and
+  backward without re-descending; a cursor pins exactly the one leaf it
+  is positioned on.
+- **Values above ¼ page spill** into chained overflow pages; the leaf
+  keeps a fixed-size pointer, so huge CPT blobs never break fan-out.
+- **Bulk loading** builds packed leaves bottom-up from sorted input at
+  a configurable fill factor (default ~100%), then stacks branch levels
+  on top — the write-once archive path every index build uses. A
+  bulk-loaded tree is both smaller and shallower than the same data
+  inserted one at a time.
+- **Duplicates** are allowed (``put(..., replace=False)`` and
+  duplicate-keyed bulk loads); ``get`` returns the first match and
+  cursors enumerate all of them.
+- **Deletes don't rebalance** — Caldera's archives are write-once, so
+  emptied leaves simply stay in the sibling chain.
+- Page 1 is the tree header (magic, root, leaf-chain ends, counters);
+  corrupt or mis-opened files fail loudly.
+
+Cost model: a point lookup on a bulk-loaded tree reads exactly
+``height`` pages logically (one per level); a full scan reads each leaf
+once after the initial descent. Every page touch goes through the
+shared buffer pool, so all costs land in the environment's
+:class:`~repro.storage.stats.IOStats`.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import PageError, StorageError
+from .buffer_pool import BufferPool
+from .pager import Pager
+
+_HEADER_PAGE = 1
+_HDR_MAGIC = b"CALB"
+_HDR = struct.Struct(">4sIIIIHQ")  # magic, root, first, last, leaves, height, entries
+
+_PAGE_LEAF = 0x01
+_PAGE_BRANCH = 0x02
+_PAGE_OVERFLOW = 0x03
+
+_LEAF_HDR = struct.Struct(">BIIH")      # type, prev, next, count
+_LEAF_ENTRY = struct.Struct(">HBI")     # klen, flags, vlen
+_BRANCH_HDR = struct.Struct(">BH")      # type, nkeys
+_CHILD = struct.Struct(">I")
+_KLEN = struct.Struct(">H")
+_OVF_HDR = struct.Struct(">BIH")        # type, next, length
+_OVF_PTR = struct.Struct(">IQ")         # first page, total length
+
+_FLAG_SPILLED = 0x01
+
+
+class LeafNode:
+    __slots__ = ("page_id", "prev", "next", "keys", "values", "flags", "size")
+
+    def __init__(self, page_id: int, prev: int = 0, nxt: int = 0) -> None:
+        self.page_id = page_id
+        self.prev = prev
+        self.next = nxt
+        self.keys: List[bytes] = []
+        self.values: List[bytes] = []
+        self.flags: List[int] = []
+        self.size = _LEAF_HDR.size
+
+    @staticmethod
+    def entry_size(key: bytes, stored: bytes) -> int:
+        return _LEAF_ENTRY.size + len(key) + len(stored)
+
+
+class BranchNode:
+    __slots__ = ("page_id", "keys", "children", "size")
+
+    def __init__(self, page_id: int) -> None:
+        self.page_id = page_id
+        self.keys: List[bytes] = []
+        self.children: List[int] = []
+        self.size = _BRANCH_HDR.size
+
+    @staticmethod
+    def entry_size(key: bytes) -> int:
+        return _KLEN.size + len(key) + _CHILD.size
+
+
+class OverflowNode:
+    __slots__ = ("page_id", "next", "data")
+
+    def __init__(self, page_id: int, nxt: int, data: bytes) -> None:
+        self.page_id = page_id
+        self.next = nxt
+        self.data = data
+
+
+class BTree:
+    """One B+ tree over one page file, cached by a shared buffer pool."""
+
+    def __init__(
+        self,
+        pager: Pager,
+        pool: BufferPool,
+        name: Optional[str] = None,
+        create: bool = True,
+    ) -> None:
+        self.pager = pager
+        self.pool = pool
+        self.name = name if name is not None else pager.path
+        self.pool_key = pager.path
+        self.page_size = pager.page_size
+        self.max_key = max(24, self.page_size // 16)
+        self.max_inline = self.page_size // 4
+        self._header_dirty = False
+        if pager.num_pages <= _HEADER_PAGE:
+            if not create:
+                raise StorageError(f"tree {self.name!r} does not exist")
+            if pager.allocate() != _HEADER_PAGE:
+                raise StorageError("tree header must be the first page")
+            root = pager.allocate()
+            self._root = root
+            self._first_leaf = root
+            self._last_leaf = root
+            self._num_leaves = 1
+            self._height = 1
+            self._num_entries = 0
+            self.pool.put_new(self, root, LeafNode(root))
+            self._header_dirty = True
+            self.flush()
+        else:
+            self._read_header()
+
+    # ------------------------------------------------------------------
+    # Header
+    # ------------------------------------------------------------------
+    def _read_header(self) -> None:
+        raw = self.pager.read(_HEADER_PAGE)
+        magic, root, first, last, leaves, height, entries = _HDR.unpack_from(raw)
+        if magic != _HDR_MAGIC:
+            raise PageError(f"{self.name!r}: bad tree header magic {magic!r}")
+        self._root = root
+        self._first_leaf = first
+        self._last_leaf = last
+        self._num_leaves = leaves
+        self._height = height
+        self._num_entries = entries
+
+    def _write_header(self) -> None:
+        raw = _HDR.pack(
+            _HDR_MAGIC, self._root, self._first_leaf, self._last_leaf,
+            self._num_leaves, self._height, self._num_entries,
+        )
+        self.pager.write(_HEADER_PAGE, raw)
+        self._header_dirty = False
+
+    # ------------------------------------------------------------------
+    # Node codec (the buffer pool calls these on miss / write-back)
+    # ------------------------------------------------------------------
+    def decode_page(self, page_id: int, raw: bytes):
+        kind = raw[0]
+        if kind == _PAGE_LEAF:
+            _, prev, nxt, count = _LEAF_HDR.unpack_from(raw)
+            node = LeafNode(page_id, prev, nxt)
+            pos = _LEAF_HDR.size
+            for _ in range(count):
+                klen, flags, vlen = _LEAF_ENTRY.unpack_from(raw, pos)
+                pos += _LEAF_ENTRY.size
+                node.keys.append(raw[pos:pos + klen])
+                pos += klen
+                node.values.append(raw[pos:pos + vlen])
+                pos += vlen
+                node.flags.append(flags)
+            node.size = pos
+            return node
+        if kind == _PAGE_BRANCH:
+            _, nkeys = _BRANCH_HDR.unpack_from(raw)
+            node = BranchNode(page_id)
+            pos = _BRANCH_HDR.size
+            for _ in range(nkeys + 1):
+                node.children.append(_CHILD.unpack_from(raw, pos)[0])
+                pos += _CHILD.size
+            for _ in range(nkeys):
+                (klen,) = _KLEN.unpack_from(raw, pos)
+                pos += _KLEN.size
+                node.keys.append(raw[pos:pos + klen])
+                pos += klen
+            node.size = _BRANCH_HDR.size + sum(
+                BranchNode.entry_size(k) for k in node.keys
+            ) + _CHILD.size
+            return node
+        if kind == _PAGE_OVERFLOW:
+            _, nxt, length = _OVF_HDR.unpack_from(raw)
+            start = _OVF_HDR.size
+            return OverflowNode(page_id, nxt, raw[start:start + length])
+        raise PageError(f"{self.name!r}: unknown page type 0x{kind:02x}")
+
+    def encode_page(self, node) -> bytes:
+        if isinstance(node, LeafNode):
+            parts = [_LEAF_HDR.pack(_PAGE_LEAF, node.prev, node.next,
+                                    len(node.keys))]
+            for key, value, flags in zip(node.keys, node.values, node.flags):
+                parts.append(_LEAF_ENTRY.pack(len(key), flags, len(value)))
+                parts.append(key)
+                parts.append(value)
+            return b"".join(parts)
+        if isinstance(node, BranchNode):
+            parts = [_BRANCH_HDR.pack(_PAGE_BRANCH, len(node.keys))]
+            for child in node.children:
+                parts.append(_CHILD.pack(child))
+            for key in node.keys:
+                parts.append(_KLEN.pack(len(key)))
+                parts.append(key)
+            return b"".join(parts)
+        if isinstance(node, OverflowNode):
+            return _OVF_HDR.pack(_PAGE_OVERFLOW, node.next,
+                                 len(node.data)) + node.data
+        raise StorageError(f"cannot encode node of type {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        """The environment-wide I/O counters (shared by all trees)."""
+        return self.pager.stats
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    @property
+    def num_leaves(self) -> int:
+        return self._num_leaves
+
+    def __len__(self) -> int:
+        return self._num_entries
+
+    # ------------------------------------------------------------------
+    # Point operations
+    # ------------------------------------------------------------------
+    def _check_key(self, key: bytes) -> None:
+        if not isinstance(key, (bytes, bytearray)):
+            raise StorageError(f"keys must be bytes, got {type(key).__name__}")
+        if len(key) > self.max_key:
+            raise StorageError(
+                f"key of {len(key)} bytes exceeds the {self.max_key}-byte "
+                f"limit for {self.page_size}-byte pages"
+            )
+
+    def _descend(self, key: bytes):
+        """The leaf that owns ``key`` plus the branch path down to it."""
+        path: List[Tuple[BranchNode, int]] = []
+        node = self.pool.get(self, self._root)
+        while isinstance(node, BranchNode):
+            i = bisect_right(node.keys, key)
+            path.append((node, i))
+            node = self.pool.get(self, node.children[i])
+        return node, path
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """The value stored under ``key`` (first duplicate), or None."""
+        self._check_key(key)
+        leaf, _ = self._descend(key)
+        i = bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            return self._load_value(leaf, i)
+        return None
+
+    def put(self, key: bytes, value: bytes, replace: bool = True) -> None:
+        """Insert (or with ``replace``, upsert) one entry."""
+        self._check_key(key)
+        if not isinstance(value, (bytes, bytearray)):
+            raise StorageError(
+                f"values must be bytes, got {type(value).__name__}"
+            )
+        leaf, path = self._descend(key)
+        i = bisect_left(leaf.keys, key)
+        if replace and i < len(leaf.keys) and leaf.keys[i] == key:
+            # Free the old chain before spilling the new value so the
+            # replacement reuses the just-freed pages.
+            if leaf.flags[i] & _FLAG_SPILLED:
+                self._free_overflow(leaf.values[i])
+            stored, flags = self._store_value(bytes(value))
+            leaf.size += len(stored) - len(leaf.values[i])
+            leaf.values[i] = stored
+            leaf.flags[i] = flags
+        else:
+            stored, flags = self._store_value(bytes(value))
+            leaf.keys.insert(i, key)
+            leaf.values.insert(i, stored)
+            leaf.flags.insert(i, flags)
+            leaf.size += LeafNode.entry_size(key, stored)
+            self._num_entries += 1
+        self.pool.mark_dirty(self, leaf.page_id)
+        self._header_dirty = True
+        if leaf.size > self.page_size:
+            self._split_leaf(leaf, path)
+
+    def delete(self, key: bytes) -> bool:
+        """Remove the first entry with ``key``; True if one existed."""
+        self._check_key(key)
+        leaf, _ = self._descend(key)
+        i = bisect_left(leaf.keys, key)
+        if i >= len(leaf.keys) or leaf.keys[i] != key:
+            return False
+        if leaf.flags[i] & _FLAG_SPILLED:
+            self._free_overflow(leaf.values[i])
+        leaf.size -= LeafNode.entry_size(leaf.keys[i], leaf.values[i])
+        del leaf.keys[i]
+        del leaf.values[i]
+        del leaf.flags[i]
+        self._num_entries -= 1
+        self.pool.mark_dirty(self, leaf.page_id)
+        self._header_dirty = True
+        return True
+
+    # ------------------------------------------------------------------
+    # Splits
+    # ------------------------------------------------------------------
+    def _split_leaf(self, leaf: LeafNode, path) -> None:
+        total = leaf.size - _LEAF_HDR.size
+        acc = 0
+        split = len(leaf.keys) - 1
+        for i in range(len(leaf.keys)):
+            acc += LeafNode.entry_size(leaf.keys[i], leaf.values[i])
+            if acc >= total // 2:
+                split = i + 1
+                break
+        split = max(1, min(split, len(leaf.keys) - 1))
+
+        right_id = self._allocate_page()
+        right = LeafNode(right_id, prev=leaf.page_id, nxt=leaf.next)
+        right.keys = leaf.keys[split:]
+        right.values = leaf.values[split:]
+        right.flags = leaf.flags[split:]
+        right.size = _LEAF_HDR.size + sum(
+            LeafNode.entry_size(k, v)
+            for k, v in zip(right.keys, right.values)
+        )
+        del leaf.keys[split:]
+        del leaf.values[split:]
+        del leaf.flags[split:]
+        leaf.size -= right.size - _LEAF_HDR.size
+
+        if leaf.next:
+            after = self.pool.get(self, leaf.next)
+            after.prev = right_id
+            self.pool.mark_dirty(self, after.page_id)
+        else:
+            self._last_leaf = right_id
+        leaf.next = right_id
+        self._num_leaves += 1
+        self.pool.put_new(self, right_id, right)
+        self.pool.mark_dirty(self, leaf.page_id)
+        self._insert_into_parent(path, leaf.page_id, right.keys[0], right_id)
+
+    def _insert_into_parent(self, path, left_id: int, sep: bytes,
+                            right_id: int) -> None:
+        if not path:
+            self._grow_root(left_id, sep, right_id)
+            return
+        parent, child_index = path.pop()
+        parent.keys.insert(child_index, sep)
+        parent.children.insert(child_index + 1, right_id)
+        parent.size += BranchNode.entry_size(sep)
+        self.pool.mark_dirty(self, parent.page_id)
+        if parent.size > self.page_size:
+            self._split_branch(parent, path)
+
+    def _split_branch(self, branch: BranchNode, path) -> None:
+        total = branch.size - _BRANCH_HDR.size
+        acc = 0
+        mid = len(branch.keys) - 1
+        for i in range(len(branch.keys)):
+            acc += BranchNode.entry_size(branch.keys[i])
+            if acc >= total // 2:
+                mid = i
+                break
+        mid = max(0, min(mid, len(branch.keys) - 2))
+        sep = branch.keys[mid]
+
+        right_id = self._allocate_page()
+        right = BranchNode(right_id)
+        right.keys = branch.keys[mid + 1:]
+        right.children = branch.children[mid + 1:]
+        right.size = _BRANCH_HDR.size + _CHILD.size + sum(
+            BranchNode.entry_size(k) for k in right.keys
+        )
+        del branch.keys[mid:]
+        del branch.children[mid + 1:]
+        branch.size = _BRANCH_HDR.size + _CHILD.size + sum(
+            BranchNode.entry_size(k) for k in branch.keys
+        )
+        self.pool.put_new(self, right_id, right)
+        self.pool.mark_dirty(self, branch.page_id)
+        self._insert_into_parent(path, branch.page_id, sep, right_id)
+
+    def _grow_root(self, left_id: int, sep: bytes, right_id: int) -> None:
+        root_id = self._allocate_page()
+        root = BranchNode(root_id)
+        root.keys = [sep]
+        root.children = [left_id, right_id]
+        root.size = _BRANCH_HDR.size + 2 * _CHILD.size + _KLEN.size + len(sep)
+        self.pool.put_new(self, root_id, root)
+        self._root = root_id
+        self._height += 1
+        self._header_dirty = True
+
+    def _allocate_page(self) -> int:
+        page_id = self.pager.allocate()
+        # A recycled page id may have a stale (freed) frame cached.
+        self.pool.discard(self, page_id)
+        return page_id
+
+    # ------------------------------------------------------------------
+    # Overflow values
+    # ------------------------------------------------------------------
+    def _store_value(self, value: bytes) -> Tuple[bytes, int]:
+        if len(value) <= self.max_inline:
+            return value, 0
+        chunk = self.page_size - _OVF_HDR.size
+        nxt = 0
+        for start in range(((len(value) - 1) // chunk) * chunk, -1, -chunk):
+            page_id = self._allocate_page()
+            node = OverflowNode(page_id, nxt, value[start:start + chunk])
+            self.pager.write(page_id, self.encode_page(node))
+            nxt = page_id
+        return _OVF_PTR.pack(nxt, len(value)), _FLAG_SPILLED
+
+    def _load_value(self, leaf: LeafNode, slot: int) -> bytes:
+        if not leaf.flags[slot] & _FLAG_SPILLED:
+            return leaf.values[slot]
+        page_id, total = _OVF_PTR.unpack(leaf.values[slot])
+        parts: List[bytes] = []
+        while page_id:
+            node = self.pool.get(self, page_id)
+            parts.append(node.data)
+            page_id = node.next
+        value = b"".join(parts)
+        if len(value) != total:
+            raise PageError(
+                f"{self.name!r}: overflow chain yielded {len(value)} bytes, "
+                f"expected {total}"
+            )
+        return value
+
+    def _free_overflow(self, stored: bytes) -> None:
+        page_id, _ = _OVF_PTR.unpack(stored)
+        while page_id:
+            # Read the chain pointer without inserting doomed pages into
+            # the pool (which could evict a leaf held by the caller).
+            if self.pool.contains(self, page_id):
+                node = self.pool.get(self, page_id)
+            else:
+                node = self.decode_page(page_id, self.pager.read(page_id))
+            nxt = node.next
+            self.pool.discard(self, page_id)
+            self.pager.free(page_id)
+            page_id = nxt
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    def bulk_load(
+        self,
+        items: Iterable[Tuple[bytes, bytes]],
+        fill: float = 1.0,
+    ) -> int:
+        """Build the tree bottom-up from sorted ``(key, value)`` pairs.
+
+        Packs leaves to ``fill`` of their capacity (default ~100%: the
+        write-once archive setting), links them, then builds each branch
+        level from the one below. The tree must be empty. Duplicate keys
+        are kept. Returns the number of entries loaded.
+        """
+        if self._num_entries:
+            raise StorageError(
+                f"bulk_load needs an empty tree; {self.name!r} has "
+                f"{self._num_entries} entries"
+            )
+        if not 0.1 <= fill <= 1.0:
+            raise StorageError(f"fill factor {fill} outside [0.1, 1.0]")
+        # Discard the empty initial tree (root leaf + any branch pages).
+        self._free_subtree(self._root)
+
+        target = max(64, int((self.page_size - _LEAF_HDR.size) * fill))
+        leaf: Optional[LeafNode] = None
+        pending: Optional[LeafNode] = None
+        seps: List[Tuple[bytes, int]] = []
+        first_leaf = last_leaf = 0
+        count = 0
+        prev_key: Optional[bytes] = None
+
+        def emit(nxt: int) -> None:
+            nonlocal pending
+            if pending is not None:
+                pending.next = nxt
+                self.pager.write(pending.page_id, self.encode_page(pending))
+                pending = None
+
+        for key, value in items:
+            self._check_key(key)
+            if prev_key is not None and key < prev_key:
+                raise StorageError(
+                    "bulk_load input is not sorted "
+                    f"({prev_key!r} followed by {key!r})"
+                )
+            prev_key = key
+            stored, flags = self._store_value(bytes(value))
+            entry = LeafNode.entry_size(key, stored)
+            if leaf is None or leaf.size + entry > target:
+                page_id = self._allocate_page()
+                new = LeafNode(page_id, prev=leaf.page_id if leaf else 0)
+                emit(page_id)
+                pending = new
+                if leaf is None:
+                    first_leaf = page_id
+                leaf = new
+                seps.append((key, page_id))
+                last_leaf = page_id
+            leaf.keys.append(key)
+            leaf.values.append(stored)
+            leaf.flags.append(flags)
+            leaf.size += entry
+            count += 1
+
+        if leaf is None:  # empty input: recreate the empty root leaf
+            root = self._allocate_page()
+            self.pool.put_new(self, root, LeafNode(root))
+            self._root = root
+            self._first_leaf = self._last_leaf = root
+            self._num_leaves = 1
+            self._height = 1
+            self._num_entries = 0
+            self._header_dirty = True
+            self.flush()
+            return 0
+        emit(0)
+
+        num_leaves = len(seps)
+        height = 1
+        while len(seps) > 1:
+            seps = self._build_branch_level(seps, fill)
+            height += 1
+
+        self._root = seps[0][1]
+        self._first_leaf = first_leaf
+        self._last_leaf = last_leaf
+        self._num_leaves = num_leaves
+        self._height = height
+        self._num_entries = count
+        self._header_dirty = True
+        self.flush()
+        return count
+
+    def _build_branch_level(
+        self, children: List[Tuple[bytes, int]], fill: float
+    ) -> List[Tuple[bytes, int]]:
+        target = max(
+            64, int((self.page_size - _BRANCH_HDR.size - _CHILD.size) * fill)
+        )
+        out: List[Tuple[bytes, int]] = []
+        node: Optional[BranchNode] = None
+        for key, child in children:
+            entry = BranchNode.entry_size(key)
+            if node is None or node.size + entry > target:
+                if node is not None:
+                    self.pager.write(node.page_id, self.encode_page(node))
+                page_id = self._allocate_page()
+                node = BranchNode(page_id)
+                node.children.append(child)
+                node.size += _CHILD.size
+                out.append((key, page_id))
+            else:
+                node.keys.append(key)
+                node.children.append(child)
+                node.size += entry
+        if node is not None:
+            self.pager.write(node.page_id, self.encode_page(node))
+        return out
+
+    def _free_subtree(self, page_id: int) -> None:
+        node = self.pool.get(self, page_id)
+        if isinstance(node, BranchNode):
+            for child in node.children:
+                self._free_subtree(child)
+        elif isinstance(node, LeafNode):
+            for stored, flags in zip(node.values, node.flags):
+                if flags & _FLAG_SPILLED:
+                    self._free_overflow(stored)
+        self.pool.discard(self, page_id)
+        self.pager.free(page_id)
+
+    # ------------------------------------------------------------------
+    # Cursors and scans
+    # ------------------------------------------------------------------
+    def cursor(self) -> "Cursor":
+        return Cursor(self)
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        return self.range_items(None, None)
+
+    def range_items(
+        self,
+        lo: Optional[bytes] = None,
+        hi: Optional[bytes] = None,
+        reverse: bool = False,
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield ``(key, value)`` with ``lo <= key < hi``; ``reverse``
+        walks the leaf chain backward (still within the same bounds)."""
+        cur = self.cursor()
+        try:
+            if not reverse:
+                ok = cur.first() if lo is None else cur.seek(lo)
+                while ok and (hi is None or cur.key < hi):
+                    yield cur.key, cur.value
+                    ok = cur.next()
+            else:
+                if hi is None:
+                    ok = cur.last()
+                else:
+                    ok = cur.seek(hi)
+                    ok = cur.prev() if ok else cur.last()
+                while ok and (lo is None or cur.key >= lo):
+                    yield cur.key, cur.value
+                    ok = cur.prev()
+        finally:
+            cur.close()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Write back dirty pages and the header; sync the pager."""
+        self.pool.flush(self)
+        if self._header_dirty:
+            self._write_header()
+        self.pager.sync()
+
+    def close(self) -> None:
+        if not self.pager.closed:
+            self.flush()
+            self.pool.discard(self)
+            self.pager.close()
+
+
+class Cursor:
+    """A bidirectional cursor pinned to one leaf at a time.
+
+    Positions on entries; ``seek`` lands on the first entry with
+    ``key >= target``. ``next``/``prev`` follow the leaf sibling links,
+    so a scan costs one logical page read per *leaf*, not per entry.
+    Mutating the tree invalidates open cursors (write-once archives
+    never do).
+    """
+
+    def __init__(self, tree: BTree) -> None:
+        self._tree = tree
+        self._leaf: Optional[LeafNode] = None
+        self._slot = -1
+
+    # -- position management -------------------------------------------
+    def _move_to(self, leaf: Optional[LeafNode]) -> None:
+        old = self._leaf
+        if leaf is old:
+            return
+        if leaf is not None:
+            self._tree.pool.pin(self._tree, leaf.page_id)
+        if old is not None:
+            self._tree.pool.unpin(self._tree, old.page_id)
+        self._leaf = leaf
+
+    def _settle_forward(self, leaf: LeafNode, slot: int) -> bool:
+        """Land on (leaf, slot), skipping forward over empty leaves."""
+        while slot >= len(leaf.keys):
+            if not leaf.next:
+                return self._invalidate()
+            leaf = self._tree.pool.get(self._tree, leaf.next)
+            slot = 0
+        self._move_to(leaf)
+        self._slot = slot
+        return True
+
+    def _settle_backward(self, leaf: LeafNode, slot: int) -> bool:
+        while slot < 0:
+            if not leaf.prev:
+                return self._invalidate()
+            leaf = self._tree.pool.get(self._tree, leaf.prev)
+            slot = len(leaf.keys) - 1
+        self._move_to(leaf)
+        self._slot = slot
+        return True
+
+    def _invalidate(self) -> bool:
+        self._move_to(None)
+        self._slot = -1
+        return False
+
+    # -- public surface -------------------------------------------------
+    @property
+    def valid(self) -> bool:
+        return self._leaf is not None
+
+    @property
+    def key(self) -> bytes:
+        if self._leaf is None:
+            raise StorageError("cursor is not positioned")
+        return self._leaf.keys[self._slot]
+
+    @property
+    def value(self) -> bytes:
+        if self._leaf is None:
+            raise StorageError("cursor is not positioned")
+        return self._tree._load_value(self._leaf, self._slot)
+
+    def seek(self, key: bytes) -> bool:
+        """Position on the first entry with key >= ``key``."""
+        self._tree._check_key(key)
+        leaf, _ = self._tree._descend(key)
+        return self._settle_forward(leaf, bisect_left(leaf.keys, key))
+
+    def first(self) -> bool:
+        leaf = self._tree.pool.get(self._tree, self._tree._first_leaf)
+        return self._settle_forward(leaf, 0)
+
+    def last(self) -> bool:
+        leaf = self._tree.pool.get(self._tree, self._tree._last_leaf)
+        return self._settle_backward(leaf, len(leaf.keys) - 1)
+
+    def next(self) -> bool:
+        if self._leaf is None:
+            return False
+        return self._settle_forward(self._leaf, self._slot + 1)
+
+    def prev(self) -> bool:
+        if self._leaf is None:
+            return False
+        return self._settle_backward(self._leaf, self._slot - 1)
+
+    def close(self) -> None:
+        self._invalidate()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,163 @@
+"""An LRU buffer pool of decoded page objects.
+
+The pool caches *decoded* node objects rather than raw page images:
+Python pays its (de)serialization cost only on misses, which mirrors how
+a real buffer pool amortizes disk I/O and makes the logical/physical
+read split meaningful — every page touch is a logical read, only misses
+reach the pager.
+
+Clients (B+ trees) register no state with the pool; each call passes
+the client, which must expose:
+
+- ``pool_key``   — hashable identity of the underlying file;
+- ``pager``      — the :class:`~repro.storage.pager.Pager` to fill
+  misses from and write evictions back to;
+- ``decode_page(page_id, raw) -> node`` and ``encode_page(node) ->
+  bytes`` — the node codec.
+
+Pinned frames (``pins > 0``) are never evicted — cursors pin the one
+leaf they are positioned on. Dirty frames are encoded and written back
+when evicted or flushed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..errors import StorageError
+from .stats import IOStats
+
+DEFAULT_POOL_PAGES = 1024
+
+
+class _Frame:
+    __slots__ = ("client", "node", "dirty", "pins")
+
+    def __init__(self, client, node) -> None:
+        self.client = client
+        self.node = node
+        self.dirty = False
+        self.pins = 0
+
+
+class BufferPool:
+    """LRU cache of decoded pages, shared by every tree of one
+    environment."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_POOL_PAGES,
+        stats: Optional[IOStats] = None,
+    ) -> None:
+        if capacity < 1:
+            raise StorageError(f"pool capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = stats if stats is not None else IOStats()
+        self._frames: "OrderedDict[Tuple, _Frame]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(self, client, page_id: int):
+        """The decoded node for one page; a logical read, physical only
+        on a miss."""
+        self.stats.logical_reads += 1
+        key = (client.pool_key, page_id)
+        frame = self._frames.get(key)
+        if frame is not None:
+            self._frames.move_to_end(key)
+            return frame.node
+        raw = client.pager.read(page_id)  # pager counts the physical read
+        node = client.decode_page(page_id, raw)
+        self._admit(key, _Frame(client, node))
+        return node
+
+    def put_new(self, client, page_id: int, node) -> None:
+        """Cache a freshly created (never written) node as dirty."""
+        key = (client.pool_key, page_id)
+        if key in self._frames:
+            raise StorageError(f"page {key} is already resident")
+        frame = _Frame(client, node)
+        frame.dirty = True
+        self._admit(key, frame)
+
+    def mark_dirty(self, client, page_id: int) -> None:
+        """Record that a resident node was mutated in place."""
+        frame = self._frames[(client.pool_key, page_id)]
+        frame.dirty = True
+
+    def contains(self, client, page_id: int) -> bool:
+        return (client.pool_key, page_id) in self._frames
+
+    # ------------------------------------------------------------------
+    # Pinning
+    # ------------------------------------------------------------------
+    def pin(self, client, page_id: int) -> None:
+        """Exempt a resident page from eviction (counted; re-entrant)."""
+        self._frames[(client.pool_key, page_id)].pins += 1
+
+    def unpin(self, client, page_id: int) -> None:
+        key = (client.pool_key, page_id)
+        frame = self._frames.get(key)
+        if frame is None:
+            return  # already discarded (e.g. the tree was dropped)
+        if frame.pins <= 0:
+            raise StorageError(f"unpin of unpinned page {key}")
+        frame.pins -= 1
+
+    # ------------------------------------------------------------------
+    # Eviction and write-back
+    # ------------------------------------------------------------------
+    def _admit(self, key, frame: _Frame) -> None:
+        while len(self._frames) >= self.capacity:
+            self._evict_one()
+        self._frames[key] = frame
+
+    def _evict_one(self) -> None:
+        for key, frame in self._frames.items():  # LRU order
+            if frame.pins == 0:
+                self._write_back(key, frame)
+                del self._frames[key]
+                return
+        raise StorageError(
+            f"buffer pool exhausted: all {len(self._frames)} frames pinned"
+        )
+
+    def _write_back(self, key, frame: _Frame) -> None:
+        if not frame.dirty:
+            return
+        raw = frame.client.encode_page(frame.node)
+        frame.client.pager.write(key[1], raw)  # pager counts the write
+        frame.dirty = False
+
+    def flush(self, client=None) -> None:
+        """Write every dirty frame back (one client's, or all)."""
+        for key, frame in self._frames.items():
+            if client is None or key[0] == client.pool_key:
+                self._write_back(key, frame)
+
+    def evict_all(self) -> None:
+        """Flush then drop every unpinned frame (cold-cache resets)."""
+        self.flush()
+        self._frames = OrderedDict(
+            (key, frame)
+            for key, frame in self._frames.items()
+            if frame.pins > 0
+        )
+
+    def discard(self, client, page_id: Optional[int] = None) -> None:
+        """Drop a client's frames *without* write-back (tree dropped)."""
+        if page_id is not None:
+            self._frames.pop((client.pool_key, page_id), None)
+            return
+        for key in [k for k in self._frames if k[0] == client.pool_key]:
+            del self._frames[key]
+
+    # ------------------------------------------------------------------
+    @property
+    def resident(self) -> int:
+        return len(self._frames)
+
+    def pinned(self) -> int:
+        return sum(1 for f in self._frames.values() if f.pins > 0)

@@ -1,0 +1,140 @@
+"""A directory of named B+ trees sharing one buffer pool.
+
+The Berkeley DB "environment" analogue: every tree (stream data, BT_C /
+BT_P / MC indexes, the catalog) lives in its own ``<name>.btree`` file
+under one directory, and all of them share a single LRU buffer pool and
+a single :class:`~repro.storage.stats.IOStats` counter — so one query's
+cost is one delta on one counter no matter how many files it touches.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from ..errors import StorageError
+from .btree import BTree
+from .buffer_pool import DEFAULT_POOL_PAGES, BufferPool
+from .pager import DEFAULT_PAGE_SIZE, Pager
+from .stats import IOStats
+
+_SUFFIX = ".btree"
+
+
+class StorageEnvironment:
+    """All storage state of one Caldera database directory."""
+
+    def __init__(
+        self,
+        path: str,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        pool_pages: int = DEFAULT_POOL_PAGES,
+    ) -> None:
+        self.path = os.path.abspath(path)
+        self.page_size = page_size
+        os.makedirs(self.path, exist_ok=True)
+        self.stats = IOStats()
+        self.pool = BufferPool(pool_pages, self.stats)
+        self._trees: Dict[str, BTree] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Tree management
+    # ------------------------------------------------------------------
+    def _check_name(self, name: str) -> str:
+        if not name or os.sep in name or (os.altsep and os.altsep in name) \
+                or name.startswith("."):
+            raise StorageError(f"bad tree name {name!r}")
+        return os.path.join(self.path, name + _SUFFIX)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"environment {self.path!r} is closed")
+
+    def open_tree(self, name: str, create: bool = True) -> BTree:
+        """The named tree, opened (or created) on first use and cached."""
+        self._check_open()
+        tree = self._trees.get(name)
+        if tree is None:
+            file_path = self._check_name(name)
+            pager = Pager(file_path, page_size=self.page_size,
+                          stats=self.stats, create=create)
+            tree = BTree(pager, self.pool, name=name, create=create)
+            self._trees[name] = tree
+        return tree
+
+    def exists(self, name: str) -> bool:
+        return name in self._trees or os.path.exists(self._check_name(name))
+
+    def list_trees(self) -> List[str]:
+        """Every tree in the directory (open or not), sorted."""
+        self._check_open()
+        names = {
+            entry[:-len(_SUFFIX)]
+            for entry in os.listdir(self.path)
+            if entry.endswith(_SUFFIX)
+        }
+        names.update(self._trees)
+        return sorted(names)
+
+    def drop_tree(self, name: str) -> None:
+        """Delete a tree's file and purge its cached pages."""
+        self._check_open()
+        file_path = self._check_name(name)
+        tree = self._trees.pop(name, None)
+        if tree is not None:
+            self.pool.discard(tree)
+            tree.pager.close()
+        elif not os.path.exists(file_path):
+            raise StorageError(f"no such tree: {name!r}")
+        if os.path.exists(file_path):
+            os.remove(file_path)
+
+    def file_size(self, name: str) -> int:
+        """On-disk bytes of one tree's file."""
+        tree = self._trees.get(name)
+        if tree is not None:
+            return tree.pager.file_size()
+        file_path = self._check_name(name)
+        if not os.path.exists(file_path):
+            raise StorageError(f"no such tree: {name!r}")
+        return os.path.getsize(file_path)
+
+    # ------------------------------------------------------------------
+    # Cache control and lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Write back every dirty page and tree header."""
+        self._check_open()
+        for tree in self._trees.values():
+            tree.flush()
+
+    def drop_caches(self) -> None:
+        """Flush, then evict the entire pool — the next access pattern
+        pays full physical I/O (cold-cache measurements)."""
+        self.flush()
+        self.pool.evict_all()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for tree in self._trees.values():
+            tree.close()
+        self._trees.clear()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "StorageEnvironment":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"StorageEnvironment({self.path!r}, page_size={self.page_size}, "
+            f"trees={len(self._trees)} open)"
+        )

@@ -1,0 +1,226 @@
+"""Order-preserving key encoding.
+
+B+ tree keys are raw byte strings compared with ``bytes.__lt__``; the
+index layers build composite keys like ``(value_code, time)`` (BT_C) and
+``(value_code, prob, time)`` (BT_P). :func:`encode_key` maps tuples of
+ints / floats / strings / bytes to byte strings whose lexicographic
+order equals the tuple order, component by component:
+
+- **ints** — 8-byte big-endian with the sign bit flipped (bias by
+  2^63), so negative values sort before positive;
+- **floats** — IEEE 754 big-endian; negative values have all 64 bits
+  inverted, non-negative values get the sign bit set. Total order:
+  -inf < ... < -0.0 == 0.0 is *not* collapsed (they encode differently,
+  -0.0 first) but both sort between negatives and positives;
+- **strings / bytes** — the payload with ``0x00`` escaped as
+  ``0x00 0xFF`` and a ``0x00`` terminator, so a proper prefix sorts
+  first and no component ever runs into the next one;
+- **Desc(x)** — payload bytes bit-inverted, so a *forward* cursor scan
+  enumerates values in *descending* order (how BT_P orders
+  probabilities high→low). Fixed-width payloads only (int / float).
+
+Each component carries a type tag; tags only matter when a position
+mixes types, which the index layers never do.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Tuple
+
+from ..errors import KeyEncodingError
+
+_INT = struct.Struct(">Q")
+_FLOAT = struct.Struct(">d")
+
+_TAG_NULL = 0x01
+_TAG_INT = 0x10
+_TAG_FLOAT = 0x20
+_TAG_STR = 0x30
+_TAG_BYTES = 0x38
+_TAG_DESC = 0x50
+
+_INT_BIAS = 1 << 63
+_INT_MIN = -(1 << 63)
+_INT_MAX = (1 << 63) - 1
+
+
+class Desc:
+    """Marks one key component as descending-order."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Desc({self.value!r})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Desc) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Desc", self.value))
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+def _encode_int(value: int) -> bytes:
+    if not _INT_MIN <= value <= _INT_MAX:
+        raise KeyEncodingError(f"integer key component out of range: {value}")
+    return _INT.pack(value + _INT_BIAS)
+
+
+def _encode_float(value: float) -> bytes:
+    if value != value:  # NaN has no place in a total order
+        raise KeyEncodingError("NaN cannot be used as a key component")
+    bits = _INT.unpack(_FLOAT.pack(value))[0]
+    if bits & (1 << 63):
+        bits ^= 0xFFFFFFFFFFFFFFFF  # negative: invert everything
+    else:
+        bits |= 1 << 63  # non-negative: flip the sign bit
+    return _INT.pack(bits)
+
+
+def _escape(payload: bytes) -> bytes:
+    return payload.replace(b"\x00", b"\x00\xff") + b"\x00"
+
+
+def _invert(payload: bytes) -> bytes:
+    return bytes(b ^ 0xFF for b in payload)
+
+
+def _encode_component(out: List[bytes], item) -> None:
+    if isinstance(item, Desc):
+        inner = item.value
+        if isinstance(inner, bool) or not isinstance(inner, (int, float)):
+            raise KeyEncodingError(
+                f"Desc() supports int/float components, got {inner!r}"
+            )
+        if isinstance(inner, int):
+            tag, payload = _TAG_INT, _encode_int(inner)
+        else:
+            tag, payload = _TAG_FLOAT, _encode_float(inner)
+        out.append(bytes((_TAG_DESC, 0xFF - tag)))
+        out.append(_invert(payload))
+    elif item is None:
+        out.append(bytes((_TAG_NULL,)))
+    elif isinstance(item, bool):
+        # bool is an int subclass; encode as its integer value.
+        out.append(bytes((_TAG_INT,)))
+        out.append(_encode_int(int(item)))
+    elif isinstance(item, int):
+        out.append(bytes((_TAG_INT,)))
+        out.append(_encode_int(item))
+    elif isinstance(item, float):
+        out.append(bytes((_TAG_FLOAT,)))
+        out.append(_encode_float(item))
+    elif isinstance(item, str):
+        out.append(bytes((_TAG_STR,)))
+        out.append(_escape(item.encode("utf-8")))
+    elif isinstance(item, (bytes, bytearray)):
+        out.append(bytes((_TAG_BYTES,)))
+        out.append(_escape(bytes(item)))
+    else:
+        raise KeyEncodingError(
+            f"cannot encode key component of type {type(item).__name__}"
+        )
+
+
+def encode_key(components: Iterable) -> bytes:
+    """Encode a tuple of key components into an order-preserving key."""
+    if isinstance(components, (str, bytes, bytearray)):
+        raise KeyEncodingError(
+            "encode_key takes a tuple of components; wrap single values "
+            "in a 1-tuple"
+        )
+    out: List[bytes] = []
+    for item in components:
+        _encode_component(out, item)
+    return b"".join(out)
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+def _decode_terminated(data: bytes, pos: int) -> Tuple[bytes, int]:
+    chunks: List[bytes] = []
+    while True:
+        end = data.index(b"\x00", pos)
+        chunks.append(data[pos:end])
+        if end + 1 < len(data) and data[end + 1] == 0xFF:
+            chunks.append(b"\x00")
+            pos = end + 2
+        else:
+            return b"".join(chunks), end + 1
+
+
+def _decode_float_bits(bits: int) -> float:
+    if bits & (1 << 63):
+        bits &= ~(1 << 63) & 0xFFFFFFFFFFFFFFFF
+    else:
+        bits ^= 0xFFFFFFFFFFFFFFFF
+    return _FLOAT.unpack(_INT.pack(bits))[0]
+
+
+def decode_key(data: bytes) -> tuple:
+    """Invert :func:`encode_key`. ``Desc`` components decode to their
+    plain (unwrapped) values."""
+    out = []
+    pos = 0
+    try:
+        while pos < len(data):
+            tag = data[pos]
+            pos += 1
+            if tag == _TAG_NULL:
+                out.append(None)
+            elif tag == _TAG_INT:
+                out.append(_INT.unpack_from(data, pos)[0] - _INT_BIAS)
+                pos += 8
+            elif tag == _TAG_FLOAT:
+                out.append(_decode_float_bits(_INT.unpack_from(data, pos)[0]))
+                pos += 8
+            elif tag == _TAG_STR:
+                raw, pos = _decode_terminated(data, pos)
+                out.append(raw.decode("utf-8"))
+            elif tag == _TAG_BYTES:
+                raw, pos = _decode_terminated(data, pos)
+                out.append(raw)
+            elif tag == _TAG_DESC:
+                inner = 0xFF - data[pos]
+                pos += 1
+                payload = _invert(data[pos:pos + 8])
+                pos += 8
+                bits = _INT.unpack(payload)[0]
+                if inner == _TAG_INT:
+                    out.append(bits - _INT_BIAS)
+                elif inner == _TAG_FLOAT:
+                    out.append(_decode_float_bits(bits))
+                else:
+                    raise KeyEncodingError(
+                        f"bad Desc inner tag 0x{inner:02x}"
+                    )
+            else:
+                raise KeyEncodingError(f"bad key tag 0x{tag:02x} at {pos - 1}")
+    except (struct.error, ValueError, IndexError) as exc:
+        raise KeyEncodingError(f"truncated or corrupt key: {exc}") from None
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# Range helpers
+# ----------------------------------------------------------------------
+
+def prefix_upper_bound(prefix: bytes) -> bytes:
+    """The smallest byte string greater than every key starting with
+    ``prefix`` — the exclusive upper bound of a prefix range scan."""
+    suffix = bytearray(prefix)
+    while suffix:
+        if suffix[-1] != 0xFF:
+            suffix[-1] += 1
+            return bytes(suffix)
+        suffix.pop()
+    raise KeyEncodingError("prefix has no finite upper bound")

@@ -1,0 +1,185 @@
+"""Fixed-size pages over an ordinary file.
+
+The pager is the only layer that touches the operating system: real
+seek/read/write calls, one page at a time, each counted in the shared
+:class:`~repro.storage.stats.IOStats`. Everything above (buffer pool,
+B+ tree) deals in page ids.
+
+File layout: page 0 is the pager's meta page (magic, format version,
+page size, allocation high-water mark, free-list head); pages 1..N-1
+belong to the client. Freed pages form a linked list threaded through
+their first 8 bytes and are reused before the file grows. The meta page
+records the page size so a file opened with the wrong geometry fails
+loudly instead of shearing pages.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Optional
+
+from ..errors import PageError, StorageError
+from .stats import IOStats
+
+DEFAULT_PAGE_SIZE = 4096
+MIN_PAGE_SIZE = 128
+
+_MAGIC = b"CALP"
+_VERSION = 1
+_META = struct.Struct(">4sHIQQ")  # magic, version, page_size, num_pages, free_head
+_FREE_LINK = struct.Struct(">Q")
+
+
+class Pager:
+    """Page-granular access to one file."""
+
+    def __init__(
+        self,
+        path: str,
+        page_size: Optional[int] = None,
+        stats: Optional[IOStats] = None,
+        create: bool = True,
+    ) -> None:
+        self.path = path
+        self.stats = stats if stats is not None else IOStats()
+        self._closed = False
+        exists = os.path.exists(path) and os.path.getsize(path) > 0
+        if not exists and not create:
+            raise StorageError(f"no such storage file: {path}")
+        if exists:
+            self._file = open(path, "r+b")
+            # An explicit page_size must match the file; None adopts it.
+            self._read_meta(expected_page_size=page_size)
+        else:
+            if page_size is None:
+                page_size = DEFAULT_PAGE_SIZE
+            if page_size < MIN_PAGE_SIZE:
+                raise PageError(
+                    f"page size {page_size} below minimum {MIN_PAGE_SIZE}"
+                )
+            self._file = open(path, "w+b")
+            self.page_size = page_size
+            self.num_pages = 1  # the meta page
+            self._free_head = 0
+            self._write_meta()
+
+    # ------------------------------------------------------------------
+    # Meta page
+    # ------------------------------------------------------------------
+    def _read_meta(self, expected_page_size: Optional[int]) -> None:
+        self._file.seek(0)
+        raw = self._file.read(_META.size)
+        try:
+            magic, version, page_size, num_pages, free_head = _META.unpack(raw)
+        except struct.error:
+            raise PageError(f"{self.path}: truncated meta page") from None
+        if magic != _MAGIC:
+            raise PageError(f"{self.path}: bad magic {magic!r}")
+        if version != _VERSION:
+            raise PageError(f"{self.path}: unsupported format v{version}")
+        if expected_page_size is not None and page_size != expected_page_size:
+            raise PageError(
+                f"{self.path}: file has {page_size}-byte pages, "
+                f"opened with page_size={expected_page_size}"
+            )
+        self.page_size = page_size
+        self.num_pages = num_pages
+        self._free_head = free_head
+
+    def _write_meta(self) -> None:
+        raw = _META.pack(
+            _MAGIC, _VERSION, self.page_size, self.num_pages, self._free_head
+        )
+        self._file.seek(0)
+        self._file.write(raw.ljust(self.page_size, b"\x00"))
+        self.stats.physical_writes += 1
+
+    # ------------------------------------------------------------------
+    # Page I/O
+    # ------------------------------------------------------------------
+    def _check(self, page_id: int) -> None:
+        if self._closed:
+            raise StorageError(f"{self.path}: pager is closed")
+        if not 1 <= page_id < self.num_pages:
+            raise PageError(
+                f"{self.path}: page {page_id} out of range "
+                f"[1, {self.num_pages})"
+            )
+
+    def read(self, page_id: int) -> bytes:
+        """Read one page (zero-padded if never written)."""
+        self._check(page_id)
+        self._file.seek(page_id * self.page_size)
+        raw = self._file.read(self.page_size)
+        self.stats.physical_reads += 1
+        if len(raw) < self.page_size:
+            raw = raw.ljust(self.page_size, b"\x00")
+        return raw
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Write one page (data must fit in a page)."""
+        self._check(page_id)
+        if len(data) > self.page_size:
+            raise PageError(
+                f"{self.path}: {len(data)} bytes exceed the "
+                f"{self.page_size}-byte page"
+            )
+        if len(data) < self.page_size:
+            data = data.ljust(self.page_size, b"\x00")
+        self._file.seek(page_id * self.page_size)
+        self._file.write(data)
+        self.stats.physical_writes += 1
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self) -> int:
+        """A fresh page id: reuse the free list, else extend the file."""
+        if self._closed:
+            raise StorageError(f"{self.path}: pager is closed")
+        if self._free_head:
+            page_id = self._free_head
+            raw = self.read(page_id)
+            (self._free_head,) = _FREE_LINK.unpack_from(raw)
+            return page_id
+        page_id = self.num_pages
+        self.num_pages += 1
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Return a page to the free list."""
+        self._check(page_id)
+        self.write(page_id, _FREE_LINK.pack(self._free_head))
+        self._free_head = page_id
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Persist the meta page and flush buffered writes."""
+        if self._closed:
+            return
+        self._write_meta()
+        self._file.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.sync()
+        self._file.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def file_size(self) -> int:
+        """Allocated file extent in bytes (high-water mark)."""
+        return self.num_pages * self.page_size
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,111 @@
+"""Length-prefixed value serialization.
+
+B+ tree values are opaque byte strings; the layers above store composite
+records in them (a marginal next to its CPT in the co-clustered layout,
+sparse probability vectors in index entries). This module provides the
+shared low-level codecs:
+
+- unsigned LEB128 varints (small ints — counts, state ids — in 1 byte);
+- length-prefixed chunk framing (concatenate independently decodable
+  byte strings);
+- packed ``(uvarint id, float64)`` pair lists, the wire shape of a
+  sparse distribution.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import StorageError
+
+_F64 = struct.Struct("<d")
+
+
+# ----------------------------------------------------------------------
+# Varints
+# ----------------------------------------------------------------------
+
+def encode_uvarint(value: int) -> bytes:
+    """Unsigned LEB128."""
+    if value < 0:
+        raise StorageError(f"uvarint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(data: bytes, pos: int = 0) -> Tuple[int, int]:
+    """Returns ``(value, next_pos)``."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise StorageError("truncated uvarint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise StorageError("uvarint overflow")
+
+
+# ----------------------------------------------------------------------
+# Chunk framing
+# ----------------------------------------------------------------------
+
+def pack_chunks(chunks: Sequence[bytes]) -> bytes:
+    """Frame several byte strings into one: count, then len+payload each."""
+    out = [encode_uvarint(len(chunks))]
+    for chunk in chunks:
+        out.append(encode_uvarint(len(chunk)))
+        out.append(chunk)
+    return b"".join(out)
+
+
+def unpack_chunks(data: bytes, pos: int = 0) -> Tuple[List[bytes], int]:
+    """Invert :func:`pack_chunks`; returns ``(chunks, next_pos)``."""
+    count, pos = decode_uvarint(data, pos)
+    chunks: List[bytes] = []
+    for _ in range(count):
+        length, pos = decode_uvarint(data, pos)
+        if pos + length > len(data):
+            raise StorageError("truncated chunk")
+        chunks.append(data[pos:pos + length])
+        pos += length
+    return chunks, pos
+
+
+# ----------------------------------------------------------------------
+# Sparse (id, weight) vectors
+# ----------------------------------------------------------------------
+
+def pack_pairs(pairs: Iterable[Tuple[int, float]]) -> bytes:
+    """Pack ``(id, weight)`` pairs: count, then uvarint id + float64 each."""
+    items = list(pairs)
+    out = [encode_uvarint(len(items))]
+    for key, weight in items:
+        out.append(encode_uvarint(key))
+        out.append(_F64.pack(weight))
+    return b"".join(out)
+
+
+def unpack_pairs(data: bytes, pos: int = 0) -> Tuple[List[Tuple[int, float]], int]:
+    """Invert :func:`pack_pairs`; returns ``(pairs, next_pos)``."""
+    count, pos = decode_uvarint(data, pos)
+    pairs: List[Tuple[int, float]] = []
+    for _ in range(count):
+        key, pos = decode_uvarint(data, pos)
+        if pos + 8 > len(data):
+            raise StorageError("truncated pair list")
+        pairs.append((key, _F64.unpack_from(data, pos)[0]))
+        pos += 8
+    return pairs, pos

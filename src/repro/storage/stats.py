@@ -1,0 +1,61 @@
+"""I/O accounting shared by every file of a storage environment.
+
+The buffer pool counts a *logical read* for every page access, and the
+pager counts a *physical read/write* for every page that actually moves
+between the process and the file. The logical/physical split is the
+measurement substrate of every benchmark: on a warm pool a workload's
+physical reads drop to zero while its logical reads stay put, so cache
+effectiveness is directly visible in the counters (see DESIGN.md,
+substitution 1: page reads replace BDB wall-clock as the comparable
+cost metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class IOStats:
+    """Monotonic I/O counters (one instance per storage environment)."""
+
+    logical_reads: int = 0
+    physical_reads: int = 0
+    physical_writes: int = 0
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "IOStats":
+        """A frozen copy of the current counter values."""
+        return IOStats(
+            self.logical_reads, self.physical_reads, self.physical_writes
+        )
+
+    def delta(self, since: "IOStats") -> "IOStats":
+        """Counters accumulated since an earlier :meth:`snapshot`."""
+        return IOStats(
+            self.logical_reads - since.logical_reads,
+            self.physical_reads - since.physical_reads,
+            self.physical_writes - since.physical_writes,
+        )
+
+    def reset(self) -> None:
+        self.logical_reads = 0
+        self.physical_reads = 0
+        self.physical_writes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Buffer-pool hit rate: fraction of logical reads served from
+        cache (1.0 when nothing has been read)."""
+        if self.logical_reads <= 0:
+            return 1.0
+        hits = self.logical_reads - self.physical_reads
+        return max(0.0, hits / self.logical_reads)
+
+    def summary(self) -> str:
+        return (
+            f"{self.logical_reads} logical / {self.physical_reads} physical "
+            f"reads, {self.physical_writes} writes "
+            f"({self.hit_rate * 100.0:.1f}% hit rate)"
+        )

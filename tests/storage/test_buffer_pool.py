@@ -1,0 +1,149 @@
+"""LRU behavior, pinning, write-back, and the logical/physical split."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import Pager
+from repro.storage.stats import IOStats
+
+
+class RawClient:
+    """A minimal pool client: pages decode to mutable bytearrays."""
+
+    def __init__(self, pager):
+        self.pager = pager
+        self.pool_key = pager.path
+
+    def decode_page(self, page_id, raw):
+        return bytearray(raw)
+
+    def encode_page(self, node):
+        return bytes(node)
+
+
+@pytest.fixture
+def setup(tmp_path):
+    stats = IOStats()
+    pager = Pager(str(tmp_path / "f.db"), page_size=128, stats=stats)
+    client = RawClient(pager)
+    pages = []
+    for i in range(8):
+        page = pager.allocate()
+        pager.write(page, bytes([i]) * 16)
+        pages.append(page)
+    stats.reset()
+    yield stats, pager, client, pages
+    pager.close()
+
+
+def test_logical_vs_physical_counts(setup):
+    stats, _, client, pages = setup
+    pool = BufferPool(4, stats)
+    for _ in range(5):
+        pool.get(client, pages[0])
+    assert stats.logical_reads == 5
+    assert stats.physical_reads == 1  # one miss, four hits
+    assert stats.hit_rate == pytest.approx(0.8)
+
+
+def test_lru_eviction_order(setup):
+    stats, _, client, pages = setup
+    pool = BufferPool(3, stats)
+    pool.get(client, pages[0])
+    pool.get(client, pages[1])
+    pool.get(client, pages[2])
+    pool.get(client, pages[0])  # refresh page 0: page 1 is now LRU
+    pool.get(client, pages[3])  # evicts page 1
+    assert pool.contains(client, pages[0])
+    assert not pool.contains(client, pages[1])
+    assert pool.contains(client, pages[2])
+    assert pool.contains(client, pages[3])
+    # Re-reading the evicted page is a physical miss again.
+    before = stats.physical_reads
+    pool.get(client, pages[1])
+    assert stats.physical_reads == before + 1
+
+
+def test_pin_prevents_eviction(setup):
+    stats, _, client, pages = setup
+    pool = BufferPool(3, stats)
+    pool.get(client, pages[0])
+    pool.pin(client, pages[0])
+    for page in pages[1:6]:  # cycle far more pages than capacity
+        pool.get(client, page)
+    assert pool.contains(client, pages[0])
+    pool.unpin(client, pages[0])
+    pool.get(client, pages[6])
+    pool.get(client, pages[7])
+    assert not pool.contains(client, pages[0])
+
+
+def test_all_pinned_pool_exhausts(setup):
+    stats, _, client, pages = setup
+    pool = BufferPool(2, stats)
+    for page in pages[:2]:
+        pool.get(client, page)
+        pool.pin(client, page)
+    with pytest.raises(StorageError, match="pinned"):
+        pool.get(client, pages[2])
+
+
+def test_dirty_write_back_on_eviction(setup):
+    stats, pager, client, pages = setup
+    pool = BufferPool(2, stats)
+    node = pool.get(client, pages[0])
+    node[:7] = b"mutated"
+    pool.mark_dirty(client, pages[0])
+    pool.get(client, pages[1])
+    pool.get(client, pages[2])
+    pool.get(client, pages[3])  # page 0 evicted along the way
+    assert not pool.contains(client, pages[0])
+    assert pager.read(pages[0])[:7] == b"mutated"
+
+
+def test_clean_eviction_skips_write(setup):
+    stats, _, client, pages = setup
+    pool = BufferPool(2, stats)
+    for page in pages[:4]:
+        pool.get(client, page)
+    assert stats.physical_writes == 0
+
+
+def test_flush_and_evict_all(setup):
+    stats, pager, client, pages = setup
+    pool = BufferPool(8, stats)
+    node = pool.get(client, pages[5])
+    node[:5] = b"fresh"
+    pool.mark_dirty(client, pages[5])
+    pool.evict_all()
+    assert pool.resident == 0
+    assert pager.read(pages[5])[:5] == b"fresh"
+    # After the drop, the next access is physical again (cold cache).
+    before = stats.physical_reads
+    pool.get(client, pages[5])
+    assert stats.physical_reads == before + 1
+
+
+def test_put_new_serves_without_physical_read(setup):
+    stats, pager, client, pages = setup
+    pool = BufferPool(4, stats)
+    page = pager.allocate()
+    pool.put_new(client, page, bytearray(b"built in memory"))
+    before = stats.physical_reads
+    node = pool.get(client, page)
+    assert bytes(node) == b"built in memory"
+    assert stats.physical_reads == before
+    pool.flush()
+    assert pager.read(page).rstrip(b"\x00") == b"built in memory"
+
+
+def test_discard_drops_without_write_back(setup):
+    stats, pager, client, pages = setup
+    pool = BufferPool(4, stats)
+    node = pool.get(client, pages[0])
+    node[:4] = b"lost"
+    pool.mark_dirty(client, pages[0])
+    pool.discard(client)
+    assert pool.resident == 0
+    assert pager.read(pages[0])[:4] != b"lost"

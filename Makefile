@@ -2,8 +2,11 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-storage figures figures-full \
-	examples clean
+.PHONY: install lint test test-fast bench bench-storage figures \
+	figures-full examples clean
+
+lint:
+	ruff check src tests benchmarks examples
 
 install:
 	$(PYTHON) -m pip install -e ".[dev]"

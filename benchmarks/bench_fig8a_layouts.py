@@ -16,7 +16,7 @@ import pytest
 
 from repro.streams import Layout
 
-from .harness import Measurement, measure, print_table, save_report
+from .harness import measure, print_table, save_report
 from .workloads import ENTERED_ROOM_QUERY, synthetic_db
 
 DENSITIES = [0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0]

@@ -21,7 +21,7 @@ Two workloads:
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 import pytest
 

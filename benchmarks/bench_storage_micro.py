@@ -12,6 +12,13 @@ Four experiments over a bulk-loaded tree of ``N`` entries:
 4. Buffer-pool hit rate vs pool size under a skewed point-lookup
    workload — the knob Figure 10's cold/warm split turns on.
 
+Besides the text/JSON report, the run emits a
+``results/storage_micro.manifest.json`` run manifest (span tree with
+per-span wall time + I/O deltas, counter snapshot, histogram
+summaries) and streams span events to
+``results/storage_micro.spans.jsonl`` — render or diff with
+``python -m repro.obs.report``.
+
 Run directly (``make bench-storage``) or via the figure runner.
 """
 
@@ -22,13 +29,15 @@ import shutil
 import tempfile
 import time
 
+from repro.obs import MetricsRegistry
 from repro.storage import StorageEnvironment, encode_key
 
-from .harness import print_table, save_report
+from .harness import finish_run, print_table, save_report, start_run
 
 N_ENTRIES = 120_000
 PAGE_SIZE = 4096
 N_LOOKUPS = 2_000
+N_HISTOGRAM_PROBES = 500
 POOL_SIZES = [32, 128, 512, 2048]
 
 
@@ -45,11 +54,13 @@ def _fill_factor(tree, items):
     return payload / (tree.num_leaves * tree.pager.page_size)
 
 
-def _bench_lookups_and_scans(workdir, items):
+def _bench_lookups_and_scans(workdir, items, tracer, registry):
     env = StorageEnvironment(f"{workdir}/lookup", page_size=PAGE_SIZE,
-                             pool_pages=4 * len(items) // 100)
+                             pool_pages=4 * len(items) // 100,
+                             metrics=registry)
     tree = env.open_tree("t")
-    tree.bulk_load(items)
+    with tracer.span("bulk_load", io=env.stats, entries=len(items)):
+        tree.bulk_load(items)
     rng = random.Random(42)
     probes = [items[rng.randrange(len(items))] for _ in range(N_LOOKUPS)]
 
@@ -58,10 +69,12 @@ def _bench_lookups_and_scans(workdir, items):
         if cold:
             env.drop_caches()
         snap = env.stats.snapshot()
-        start = time.perf_counter()
-        for key, value in probes:
-            assert tree.get(key) == value
-        wall = time.perf_counter() - start
+        with tracer.span(f"point_lookup_{label}", io=env.stats,
+                         probes=len(probes)):
+            start = time.perf_counter()
+            for key, value in probes:
+                assert tree.get(key) == value
+            wall = time.perf_counter() - start
         delta = env.stats.delta(snap)
         rows.append({
             "op": f"point_lookup_{label}",
@@ -71,18 +84,32 @@ def _bench_lookups_and_scans(workdir, items):
             "tree_height": tree.height,
         })
 
+    # Per-op page-read distributions (outside the timed loops so the
+    # per-probe snapshots never pollute the wall-clock rows).
+    h_logical = registry.histogram("lookup.logical_reads_per_op")
+    h_physical = registry.histogram("lookup.physical_reads_per_op")
+    env.drop_caches()
+    for key, _ in probes[:N_HISTOGRAM_PROBES]:
+        snap = env.stats.snapshot()
+        tree.get(key)
+        delta = env.stats.delta(snap)
+        h_logical.observe(delta.logical_reads)
+        h_physical.observe(delta.physical_reads)
+
     scan = {"op": "full_scan", "tree_height": tree.height}
     env.drop_caches()
     snap = env.stats.snapshot()
-    start = time.perf_counter()
-    count = sum(1 for _ in tree.items())
-    scan["wall_ms_cold"] = (time.perf_counter() - start) * 1000.0
+    with tracer.span("full_scan_cold", io=env.stats):
+        start = time.perf_counter()
+        count = sum(1 for _ in tree.items())
+        scan["wall_ms_cold"] = (time.perf_counter() - start) * 1000.0
     cold_io = env.stats.delta(snap)
     assert count == len(items)
     snap = env.stats.snapshot()
-    start = time.perf_counter()
-    sum(1 for _ in tree.items())
-    scan["wall_ms_warm"] = (time.perf_counter() - start) * 1000.0
+    with tracer.span("full_scan_warm", io=env.stats):
+        start = time.perf_counter()
+        sum(1 for _ in tree.items())
+        scan["wall_ms_warm"] = (time.perf_counter() - start) * 1000.0
     warm_io = env.stats.delta(snap)
     scan.update({
         "leaf_pages": tree.num_leaves,
@@ -94,15 +121,16 @@ def _bench_lookups_and_scans(workdir, items):
     return rows, scan
 
 
-def _bench_build(workdir, items):
+def _bench_build(workdir, items, tracer, registry):
     rows = []
     env = StorageEnvironment(f"{workdir}/build", page_size=PAGE_SIZE,
-                             pool_pages=1024)
+                             pool_pages=1024, metrics=registry)
     for fill in (1.0, 0.67):
         tree = env.open_tree(f"bulk_{int(fill * 100)}")
-        start = time.perf_counter()
-        tree.bulk_load(items, fill=fill)
-        tree.flush()
+        with tracer.span("build_bulk", io=env.stats, fill=fill):
+            start = time.perf_counter()
+            tree.bulk_load(items, fill=fill)
+            tree.flush()
         rows.append({
             "strategy": f"bulk_load(fill={fill})",
             "build_s": time.perf_counter() - start,
@@ -115,10 +143,11 @@ def _bench_build(workdir, items):
     tree = env.open_tree("incremental")
     shuffled = items[:]
     random.Random(7).shuffle(shuffled)
-    start = time.perf_counter()
-    for key, value in shuffled:
-        tree.put(key, value)
-    tree.flush()
+    with tracer.span("build_incremental", io=env.stats):
+        start = time.perf_counter()
+        for key, value in shuffled:
+            tree.put(key, value)
+        tree.flush()
     rows.append({
         "strategy": "incremental(random order)",
         "build_s": time.perf_counter() - start,
@@ -131,7 +160,7 @@ def _bench_build(workdir, items):
     return rows
 
 
-def _bench_pool_sizes(workdir, items):
+def _bench_pool_sizes(workdir, items, tracer, registry):
     rows = []
     rng = random.Random(1234)
     # Zipf-ish skew: most probes hit a small hot set.
@@ -143,13 +172,16 @@ def _bench_pool_sizes(workdir, items):
     ]
     for pool_pages in POOL_SIZES:
         env = StorageEnvironment(f"{workdir}/pool_{pool_pages}",
-                                 page_size=PAGE_SIZE, pool_pages=pool_pages)
+                                 page_size=PAGE_SIZE, pool_pages=pool_pages,
+                                 metrics=registry)
         tree = env.open_tree("t")
         tree.bulk_load(items)
         env.drop_caches()
         snap = env.stats.snapshot()
-        for key, _ in probes:
-            tree.get(key)
+        with tracer.span("skewed_lookups", io=env.stats,
+                         pool_pages=pool_pages):
+            for key, _ in probes:
+                tree.get(key)
         delta = env.stats.delta(snap)
         rows.append({
             "pool_pages": pool_pages,
@@ -163,12 +195,27 @@ def _bench_pool_sizes(workdir, items):
 
 
 def generate():
+    registry = MetricsRegistry()
+    manifest, tracer = start_run(
+        "storage_micro",
+        config={
+            "n_entries": N_ENTRIES,
+            "page_size": PAGE_SIZE,
+            "n_lookups": N_LOOKUPS,
+            "pool_sizes": POOL_SIZES,
+        },
+        registry=registry,
+    )
     workdir = tempfile.mkdtemp(prefix="bench_storage_")
     try:
         items = _items(N_ENTRIES)
-        lookup_rows, scan_row = _bench_lookups_and_scans(workdir, items)
-        build_rows = _bench_build(workdir, items)
-        pool_rows = _bench_pool_sizes(workdir, items)
+        with tracer.span("lookups_and_scans"):
+            lookup_rows, scan_row = _bench_lookups_and_scans(
+                workdir, items, tracer, registry)
+        with tracer.span("build_strategies"):
+            build_rows = _bench_build(workdir, items, tracer, registry)
+        with tracer.span("pool_sizes"):
+            pool_rows = _bench_pool_sizes(workdir, items, tracer, registry)
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
@@ -205,6 +252,8 @@ def generate():
         "pool_sizes": pool_rows,
     }
     save_report("storage_micro", text, data)
+    path = finish_run(manifest, tracer, registry=registry)
+    print(f"run manifest: {path}")
     return data
 
 

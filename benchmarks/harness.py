@@ -1,14 +1,71 @@
-"""Measurement and reporting helpers shared by the figure benchmarks."""
+"""Measurement and reporting helpers shared by the figure benchmarks.
+
+Every benchmark also reports through :mod:`repro.obs`:
+:func:`start_run` hands out a :class:`~repro.obs.manifest.RunManifest`
+plus a :class:`~repro.obs.tracing.Tracer` whose spans stream to
+``results/<name>.spans.jsonl``, and :func:`finish_run` writes the
+finished manifest (span tree with per-span wall time and I/O deltas,
+registry snapshot with histogram summaries) to
+``results/<name>.manifest.json`` — the file
+``python -m repro.obs.report`` renders and diffs.
+"""
 
 from __future__ import annotations
 
 import json
 import os
-import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.obs import JsonlSink, RunManifest, Tracer
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def start_run(
+    name: str,
+    config: Optional[Dict] = None,
+    io=None,
+    registry=None,
+    stream_spans: bool = True,
+) -> Tuple[RunManifest, Tracer]:
+    """A manifest + tracer pair for one benchmark run.
+
+    ``io`` is the default IOStats spans delta against (benchmarks that
+    open one environment per phase pass ``io=env.stats`` per span
+    instead); ``registry`` collects span-latency histograms. Span
+    completions stream to ``results/<name>.spans.jsonl`` as they
+    happen, so an interrupted run still leaves its trace.
+    """
+    manifest = RunManifest.new(name, config)
+    sink = None
+    if stream_spans:
+        sink = JsonlSink(os.path.join(RESULTS_DIR, f"{name}.spans.jsonl"))
+        sink.emit({
+            "type": "run_start",
+            "run_id": manifest.run_id,
+            "name": name,
+            "created": manifest.created,
+        })
+    return manifest, Tracer(io=io, registry=registry, sink=sink)
+
+
+def finish_run(
+    manifest: RunManifest,
+    tracer: Tracer,
+    registry=None,
+    extra: Optional[Dict] = None,
+) -> str:
+    """Attach spans + metrics, write the manifest JSON, close the
+    sink; returns the manifest path."""
+    manifest.finish(tracer, registry)
+    if extra:
+        manifest.extra.update(extra)
+    if tracer.sink is not None:
+        tracer.sink.emit({"type": "run_end", "run_id": manifest.run_id})
+        tracer.sink.close()
+    path = os.path.join(RESULTS_DIR, f"{manifest.name}.manifest.json")
+    return manifest.save(path)
 
 
 @dataclass

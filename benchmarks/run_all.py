@@ -7,57 +7,81 @@ Usage::
 
 Writes one text + JSON report per figure under ``benchmarks/results/``;
 EXPERIMENTS.md summarizes them against the paper's claims.
+
+Figure modules are imported lazily: figures whose layers are not yet
+built (see ROADMAP.md) are reported as skipped instead of crashing the
+whole run. The run emits a ``results/run_all.manifest.json`` manifest
+— one span per figure — so two regeneration runs are diffable with
+``python -m repro.obs.report``.
 """
 
 from __future__ import annotations
 
+import importlib
 import sys
 import time
 
-from . import (
-    bench_ablation_mc_alpha,
-    bench_ablation_merge,
-    bench_ablation_topk_bound,
-    bench_fig4_signal,
-    bench_fig8a_layouts,
-    bench_fig8b_real_fixed,
-    bench_fig8c_matchrate,
-    bench_fig9a_variable,
-    bench_fig9b_real_variable,
-    bench_fig9c_accuracy,
-    bench_fig10_table,
-    bench_fig11a_mc_lookup,
-    bench_fig11b_mc_storage,
-)
+from repro.obs import MetricsRegistry
 
+from .harness import finish_run, start_run
+
+# (figure name, module under benchmarks.) — imported on demand.
 FIGURES = [
-    ("fig4", bench_fig4_signal),
-    ("fig8a", bench_fig8a_layouts),
-    ("fig8b", bench_fig8b_real_fixed),
-    ("fig8c", bench_fig8c_matchrate),
-    ("fig9a", bench_fig9a_variable),
-    ("fig9b", bench_fig9b_real_variable),
-    ("fig9c", bench_fig9c_accuracy),
-    ("fig10", bench_fig10_table),
-    ("fig11a", bench_fig11a_mc_lookup),
-    ("fig11b", bench_fig11b_mc_storage),
-    ("ablation_merge", bench_ablation_merge),
-    ("ablation_topk_bound", bench_ablation_topk_bound),
-    ("ablation_mc_alpha", bench_ablation_mc_alpha),
+    ("storage_micro", "bench_storage_micro"),
+    ("fig4", "bench_fig4_signal"),
+    ("fig8a", "bench_fig8a_layouts"),
+    ("fig8b", "bench_fig8b_real_fixed"),
+    ("fig8c", "bench_fig8c_matchrate"),
+    ("fig9a", "bench_fig9a_variable"),
+    ("fig9b", "bench_fig9b_real_variable"),
+    ("fig9c", "bench_fig9c_accuracy"),
+    ("fig10", "bench_fig10_table"),
+    ("fig11a", "bench_fig11a_mc_lookup"),
+    ("fig11b", "bench_fig11b_mc_storage"),
+    ("ablation_merge", "bench_ablation_merge"),
+    ("ablation_topk_bound", "bench_ablation_topk_bound"),
+    ("ablation_mc_alpha", "bench_ablation_mc_alpha"),
 ]
+
+
+def _load(module_name: str):
+    """The figure module, or the missing repro layer's name."""
+    try:
+        return importlib.import_module(f".{module_name}", __package__), None
+    except ModuleNotFoundError as exc:
+        name = exc.name or ""
+        if name == "repro" or name.startswith("repro."):
+            return None, ".".join(name.split(".")[:2])
+        raise
 
 
 def main(only=None) -> int:
     start = time.time()
-    for name, module in FIGURES:
+    registry = MetricsRegistry()
+    manifest, tracer = start_run("run_all", registry=registry)
+    done, skipped = [], []
+    for name, module_name in FIGURES:
         if only and name not in only:
+            continue
+        module, missing = _load(module_name)
+        if module is None:
+            print(f"[{name}] skipped: needs the {missing} layer "
+                  "(not yet implemented, see ROADMAP.md)")
+            skipped.append({"figure": name, "missing_layer": missing})
             continue
         print(f"\n##### {name} " + "#" * 40)
         t0 = time.time()
-        module.generate()
+        with tracer.span("figure", figure=name):
+            module.generate()
         print(f"[{name}] done in {time.time() - t0:.1f}s")
-    print(f"\nAll figures regenerated in {time.time() - start:.1f}s; "
-          "reports in benchmarks/results/")
+        done.append(name)
+    path = finish_run(
+        manifest, tracer, registry=registry,
+        extra={"figures_done": done, "figures_skipped": skipped},
+    )
+    print(f"\n{len(done)} figure(s) regenerated, {len(skipped)} skipped "
+          f"in {time.time() - start:.1f}s; reports in benchmarks/results/")
+    print(f"run manifest: {path}")
     return 0
 
 

@@ -111,7 +111,7 @@ def synthetic_db(
         "density": density,
         "match_rate": match_rate,
         "num_snippets": num_snippets,
-        "layouts": sorted(l.value for l in layouts),
+        "layouts": sorted(layout.value for layout in layouts),
         "seed": seed,
         "mc_alpha": mc_alpha,
         "target": TARGET_ROOM,

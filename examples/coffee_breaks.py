@@ -27,7 +27,6 @@ from repro.rfid import (
     RFIDSensorModel,
     assign_people,
     default_deployment,
-    routine_path,
     simulate_tag,
     smooth_trace,
     uw_building,

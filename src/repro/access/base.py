@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import PlanningError
 from ..indexes.btc import BTCIndex, PredicateChronoCursor
@@ -22,7 +22,6 @@ from ..query.predicates import Predicate
 from ..query.regular import RegularQuery
 from ..storage.stats import IOStats
 from ..streams.archive import StreamReader
-from ..streams.schema import StateSpace
 
 
 @dataclass

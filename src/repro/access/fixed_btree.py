@@ -16,7 +16,7 @@ indexed" note — but at least one link must be indexed.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..errors import PlanningError, QueryError
 from .base import AccessMethod, AccessStats, QueryContext
@@ -40,7 +40,7 @@ class FixedBTree(AccessMethod):
         query = ctx.query
         if not query.is_fixed_length:
             raise QueryError(
-                f"the B+Tree method handles fixed-length queries only; "
+                "the B+Tree method handles fixed-length queries only; "
                 f"{query.name!r} has Kleene loops"
             )
         n = len(query)

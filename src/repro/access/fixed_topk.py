@@ -66,7 +66,7 @@ class FixedTopK(AccessMethod):
         query = ctx.query
         if not query.is_fixed_length:
             raise QueryError(
-                f"the top-k B+Tree method handles fixed-length queries "
+                "the top-k B+Tree method handles fixed-length queries "
                 f"only; {query.name!r} has Kleene loops"
             )
         n = len(query)
@@ -78,7 +78,7 @@ class FixedTopK(AccessMethod):
             terms = ctx.btp_terms_for(predicate)
             if terms is None:
                 raise PlanningError(
-                    f"the top-k method requires BT_P coverage of every "
+                    "the top-k method requires BT_P coverage of every "
                     f"link; missing for {predicate.signature()}"
                 )
             cursors.append((i, ctx.prob_cursor(predicate)))

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..errors import PlanningError, QueryError
+from ..errors import PlanningError
 from .base import AccessMethod, AccessStats, QueryContext
 
 

@@ -20,8 +20,18 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core import Caldera, detect_events
 from .errors import ReproError
+
+# The engine (repro.core) pulls in every layer of the stack; while some
+# layers are still unbuilt, importing it at module scope would make even
+# ``python -m repro --help`` crash. Subcommands import it lazily and
+# main() turns a missing repro.* module into a clear diagnostic.
+
+
+def _engine():
+    from .core import Caldera
+
+    return Caldera
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -113,7 +123,7 @@ def cmd_demo(args, out) -> int:
         plan, sensors, num_people=args.people, duration=args.duration,
         seed=args.seed, prune=1e-3,
     )
-    with Caldera(args.db) as db:
+    with _engine()(args.db) as db:
         db.register_dimension_table("LocationType", plan.dimension_table())
         for stream in streams:
             db.archive(stream, layout=args.layout, mc_alpha=2,
@@ -125,7 +135,7 @@ def cmd_demo(args, out) -> int:
 
 
 def cmd_info(args, out) -> int:
-    with Caldera(args.db) as db:
+    with _engine()(args.db) as db:
         streams = db.stream_names()
         if not streams:
             print("no streams archived", file=out)
@@ -150,7 +160,7 @@ def cmd_import(args, out) -> int:
     from .streams import load_stream
 
     stream = load_stream(args.stream_json)
-    with Caldera(args.db) as db:
+    with _engine()(args.db) as db:
         db.archive(stream, layout=args.layout, btp=not args.no_btp,
                    mc_alpha=args.mc_alpha)
     print(f"imported {stream.name!r}: {len(stream)} timesteps", file=out)
@@ -160,7 +170,7 @@ def cmd_import(args, out) -> int:
 def cmd_export(args, out) -> int:
     from .streams import dump_stream
 
-    with Caldera(args.db) as db:
+    with _engine()(args.db) as db:
         stream = db.reader(args.stream).materialize()
     dump_stream(stream, args.output)
     print(f"exported {args.stream!r} to {args.output}", file=out)
@@ -168,7 +178,7 @@ def cmd_export(args, out) -> int:
 
 
 def cmd_query(args, out) -> int:
-    with Caldera(args.db) as db:
+    with _engine()(args.db) as db:
         result = db.query(
             args.stream, args.query, method=args.method, k=args.k,
             threshold=args.threshold, cold=args.cold,
@@ -183,6 +193,8 @@ def cmd_query(args, out) -> int:
             for t, p in top:
                 print(f"  t={t:6d}  p={p:.4f}", file=out)
         if args.events is not None:
+            from .core import detect_events
+
             events = detect_events(result, enter=args.events)
             print(f"{len(events)} event(s) at enter={args.events}:", file=out)
             for event in events:
@@ -191,21 +203,21 @@ def cmd_query(args, out) -> int:
 
 
 def cmd_plan(args, out) -> int:
-    with Caldera(args.db) as db:
+    with _engine()(args.db) as db:
         decision = db.explain(args.stream, args.query, k=args.k)
         print(f"{decision.name}: {decision.reason}", file=out)
     return 0
 
 
 def cmd_density(args, out) -> int:
-    with Caldera(args.db) as db:
+    with _engine()(args.db) as db:
         density = db.data_density(args.stream, args.query)
         print(f"{density:.4f}", file=out)
     return 0
 
 
 def cmd_drop(args, out) -> int:
-    with Caldera(args.db) as db:
+    with _engine()(args.db) as db:
         db.drop_stream(args.stream)
         print(f"dropped {args.stream!r}", file=out)
     return 0
@@ -229,6 +241,19 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args, out)
+    except ModuleNotFoundError as exc:
+        name = exc.name or ""
+        if name == "repro" or name.startswith("repro."):
+            layer = ".".join(name.split(".")[:2])
+            print(
+                f"error: {args.command!r} needs the {layer} layer, which "
+                "is not yet implemented in this repo (see ROADMAP.md for "
+                "the build order; storage, probability, and obs are "
+                "available today)",
+                file=sys.stderr,
+            )
+            return 2
+        raise
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

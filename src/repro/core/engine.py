@@ -20,7 +20,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..access import QueryContext, QueryResult
 from ..errors import CatalogError, PlanningError
@@ -28,7 +28,6 @@ from ..indexes import (
     build_btc,
     build_btp,
     build_mc,
-    mc_tree_name,
     open_btc,
     open_btp,
     open_mc,

@@ -9,7 +9,7 @@ streams.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import InferenceError
 from .model import HiddenMarkovModel

@@ -14,7 +14,7 @@ with ``/`` sanitized to ``@`` for the filesystem.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Optional
 
 from ..errors import CatalogError, QueryError
 from ..probability import SparseDistribution

@@ -11,7 +11,6 @@ entries has zero mass on every query predicate).
 
 from __future__ import annotations
 
-import heapq
 import struct
 from typing import Iterable, Iterator, List, Optional, Tuple
 

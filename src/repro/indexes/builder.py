@@ -16,7 +16,6 @@ from ..storage import StorageEnvironment
 from ..streams.archive import StreamReader
 from ..streams.schema import StateSpace
 from .base import (
-    IndexedAttribute,
     btc_tree_name,
     btp_tree_name,
     mc_tree_name,

@@ -1,0 +1,41 @@
+"""Observability: metrics, span tracing, and structured run manifests.
+
+The measurement backbone of the reproduction. The repo's comparable
+cost metric is page reads, not wall-clock (DESIGN.md substitution 1),
+so every layer reports through this package:
+
+- :mod:`~repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, and base-2 log-scale histograms (plus a no-op
+  :class:`NullRegistry`); storage components keep instrument references
+  and bump them on the hot path.
+- :mod:`~repro.obs.tracing` — a :class:`Tracer` of nested spans, each
+  capturing wall time and the :class:`~repro.storage.stats.IOStats`
+  delta over its extent.
+- :mod:`~repro.obs.manifest` — :class:`RunManifest` (run id, git rev,
+  config, environment, span tree, metric snapshot) and
+  :class:`JsonlSink` for streaming span events.
+- :mod:`~repro.obs.report` — ``python -m repro.obs.report`` renders one
+  manifest or diffs two (counter deltas, percentile shifts).
+
+Instruments observe; they never read or write pages. Enabling the full
+registry changes a workload's measured logical/physical read counts by
+exactly zero.
+"""
+
+from .manifest import JsonlSink, RunManifest, environment_info, git_revision
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, NullRegistry
+from .tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NullRegistry",
+    "RunManifest",
+    "Span",
+    "Tracer",
+    "environment_info",
+    "git_revision",
+]

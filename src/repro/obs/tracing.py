@@ -1,0 +1,155 @@
+"""Nested spans that capture wall time *and* the I/O-counter delta.
+
+A span brackets one unit of work (a benchmark phase, one query, one
+index build). On entry it snapshots the bound
+:class:`~repro.storage.stats.IOStats`; on exit it records the wall time
+and the counter delta over its extent — so "this lookup cost 3 logical
+reads, 1 physical" falls out of the trace without any manual
+snapshot/delta bookkeeping at call sites.
+
+Spans nest: a child's cost is included in its parent's delta (the
+counters are monotonic), and ``Span.self_io()`` subtracts the children
+back out when exclusive cost matters. The tracer keeps the finished
+roots; :meth:`Tracer.to_dicts` renders the tree JSON-ready for a
+:class:`~repro.obs.manifest.RunManifest` or a JSONL sink.
+
+Observation only: a span never performs page I/O itself, so tracing a
+workload changes its measured logical/physical read counts by zero.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import asdict
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One timed extent with its I/O delta and child spans."""
+
+    __slots__ = (
+        "name", "attrs", "children", "wall_ms", "io",
+        "_t0", "_io_source", "_io_snap",
+    )
+
+    def __init__(self, name: str, attrs: Dict, io_source) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.children: List["Span"] = []
+        self.wall_ms: float = 0.0
+        self.io: Optional[Dict[str, int]] = None
+        self._io_source = io_source
+        self._io_snap = None
+
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        if self._io_source is not None:
+            self._io_snap = self._io_source.snapshot()
+        self._t0 = time.perf_counter()
+
+    def _finish(self) -> None:
+        self.wall_ms = (time.perf_counter() - self._t0) * 1000.0
+        if self._io_source is not None:
+            self.io = asdict(self._io_source.delta(self._io_snap))
+        self._io_source = None
+        self._io_snap = None
+
+    # ------------------------------------------------------------------
+    def self_io(self) -> Optional[Dict[str, int]]:
+        """This span's I/O delta minus its children's (exclusive cost).
+
+        Children traced against a *different* counter set are skipped:
+        their deltas are not part of this span's totals.
+        """
+        if self.io is None:
+            return None
+        out = dict(self.io)
+        for child in self.children:
+            if child.io is None or child.io.keys() != out.keys():
+                continue
+            for field in out:
+                out[field] -= child.io[field]
+        return out
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"name": self.name, "wall_ms": round(self.wall_ms, 3)}
+        if self.attrs:
+            out["attrs"] = self.attrs
+        if self.io is not None:
+            out["io"] = self.io
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, wall_ms={self.wall_ms:.3f}, "
+            f"children={len(self.children)})"
+        )
+
+
+class Tracer:
+    """Builds a span tree; optionally feeds latencies into a registry.
+
+    ``io`` is the default :class:`IOStats` every span deltas against; a
+    per-span override (``tracer.span(name, io=env.stats)``) serves
+    benchmarks that open a fresh environment per phase. With a
+    ``registry``, each finished span also lands in the log-scale
+    histogram ``span.<name>.ms`` — percentile summaries for free.
+    """
+
+    def __init__(self, io=None, registry=None, sink=None) -> None:
+        self._io = io
+        self._registry = registry
+        self.sink = sink
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, io=None, **attrs) -> Iterator[Span]:
+        """Open a nested span; use as ``with tracer.span("phase"):``."""
+        source = io if io is not None else self._io
+        node = Span(name, attrs, source)
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+        node._start()
+        try:
+            yield node
+        finally:
+            node._finish()
+            self._stack.pop()
+            if self._registry is not None:
+                self._registry.histogram(f"span.{name}.ms").observe(
+                    node.wall_ms
+                )
+            if self.sink is not None:
+                record = node.to_dict()
+                # One line per span: children arrive as their own lines
+                # (they finish first), so drop the nested copies.
+                record.pop("children", None)
+                record["depth"] = len(self._stack)
+                self.sink.emit({"type": "span", **record})
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def to_dicts(self) -> List[Dict]:
+        """The finished span forest, JSON-ready."""
+        return [root.to_dict() for root in self.roots]
+
+    def __repr__(self) -> str:
+        return f"Tracer(roots={len(self.roots)}, depth={len(self._stack)})"

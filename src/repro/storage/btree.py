@@ -38,6 +38,7 @@ from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import PageError, StorageError
+from ..obs.metrics import NullRegistry
 from .buffer_pool import BufferPool
 from .pager import Pager
 
@@ -109,6 +110,7 @@ class BTree:
         pool: BufferPool,
         name: Optional[str] = None,
         create: bool = True,
+        metrics=None,
     ) -> None:
         self.pager = pager
         self.pool = pool
@@ -118,6 +120,27 @@ class BTree:
         self.max_key = max(24, self.page_size // 16)
         self.max_inline = self.page_size // 4
         self._header_dirty = False
+        # Per-tree instruments, keyed by tree name (see repro.obs).
+        self.metrics = metrics if metrics is not None else NullRegistry()
+        tree_label = self.name
+        self._m_descents = self.metrics.counter(
+            "btree.descents", tree=tree_label)
+        self._m_gets = self.metrics.counter("btree.gets", tree=tree_label)
+        self._m_puts = self.metrics.counter("btree.puts", tree=tree_label)
+        self._m_deletes = self.metrics.counter(
+            "btree.deletes", tree=tree_label)
+        self._m_leaf_splits = self.metrics.counter(
+            "btree.leaf_splits", tree=tree_label)
+        self._m_branch_splits = self.metrics.counter(
+            "btree.branch_splits", tree=tree_label)
+        self._m_ovf_follows = self.metrics.counter(
+            "btree.overflow_follows", tree=tree_label)
+        self._m_ovf_spills = self.metrics.counter(
+            "btree.overflow_spills", tree=tree_label)
+        self._m_cursor_steps = self.metrics.counter(
+            "btree.cursor_steps", tree=tree_label)
+        self._m_bulk_entries = self.metrics.counter(
+            "btree.bulk_loaded_entries", tree=tree_label)
         if pager.num_pages <= _HEADER_PAGE:
             if not create:
                 raise StorageError(f"tree {self.name!r} does not exist")
@@ -255,6 +278,7 @@ class BTree:
 
     def _descend(self, key: bytes):
         """The leaf that owns ``key`` plus the branch path down to it."""
+        self._m_descents.inc()
         path: List[Tuple[BranchNode, int]] = []
         node = self.pool.get(self, self._root)
         while isinstance(node, BranchNode):
@@ -266,6 +290,7 @@ class BTree:
     def get(self, key: bytes) -> Optional[bytes]:
         """The value stored under ``key`` (first duplicate), or None."""
         self._check_key(key)
+        self._m_gets.inc()
         leaf, _ = self._descend(key)
         i = bisect_left(leaf.keys, key)
         if i < len(leaf.keys) and leaf.keys[i] == key:
@@ -279,6 +304,7 @@ class BTree:
             raise StorageError(
                 f"values must be bytes, got {type(value).__name__}"
             )
+        self._m_puts.inc()
         leaf, path = self._descend(key)
         i = bisect_left(leaf.keys, key)
         if replace and i < len(leaf.keys) and leaf.keys[i] == key:
@@ -305,6 +331,7 @@ class BTree:
     def delete(self, key: bytes) -> bool:
         """Remove the first entry with ``key``; True if one existed."""
         self._check_key(key)
+        self._m_deletes.inc()
         leaf, _ = self._descend(key)
         i = bisect_left(leaf.keys, key)
         if i >= len(leaf.keys) or leaf.keys[i] != key:
@@ -324,6 +351,7 @@ class BTree:
     # Splits
     # ------------------------------------------------------------------
     def _split_leaf(self, leaf: LeafNode, path) -> None:
+        self._m_leaf_splits.inc()
         total = leaf.size - _LEAF_HDR.size
         acc = 0
         split = len(leaf.keys) - 1
@@ -374,6 +402,7 @@ class BTree:
             self._split_branch(parent, path)
 
     def _split_branch(self, branch: BranchNode, path) -> None:
+        self._m_branch_splits.inc()
         total = branch.size - _BRANCH_HDR.size
         acc = 0
         mid = len(branch.keys) - 1
@@ -424,6 +453,7 @@ class BTree:
     def _store_value(self, value: bytes) -> Tuple[bytes, int]:
         if len(value) <= self.max_inline:
             return value, 0
+        self._m_ovf_spills.inc()
         chunk = self.page_size - _OVF_HDR.size
         nxt = 0
         for start in range(((len(value) - 1) // chunk) * chunk, -1, -chunk):
@@ -440,6 +470,7 @@ class BTree:
         parts: List[bytes] = []
         while page_id:
             node = self.pool.get(self, page_id)
+            self._m_ovf_follows.inc()
             parts.append(node.data)
             page_id = node.next
         value = b"".join(parts)
@@ -556,6 +587,7 @@ class BTree:
         self._height = height
         self._num_entries = count
         self._header_dirty = True
+        self._m_bulk_entries.inc(count)
         self.flush()
         return count
 
@@ -736,11 +768,13 @@ class Cursor:
     def next(self) -> bool:
         if self._leaf is None:
             return False
+        self._tree._m_cursor_steps.inc()
         return self._settle_forward(self._leaf, self._slot + 1)
 
     def prev(self) -> bool:
         if self._leaf is None:
             return False
+        self._tree._m_cursor_steps.inc()
         return self._settle_backward(self._leaf, self._slot - 1)
 
     def close(self) -> None:

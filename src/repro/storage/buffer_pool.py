@@ -18,14 +18,22 @@ the client, which must expose:
 Pinned frames (``pins > 0``) are never evicted — cursors pin the one
 leaf they are positioned on. Dirty frames are encoded and written back
 when evicted or flushed.
+
+Besides the environment-wide :class:`~repro.storage.stats.IOStats`
+(logical reads/writes, evictions, flushes), the pool reports hit/miss,
+eviction, dirty-write-back, and pin-churn counters plus a resident-page
+gauge through a :class:`~repro.obs.metrics.MetricsRegistry`. All of it
+observes — metrics never cause page I/O, so enabling them leaves the
+measured cost counters untouched.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..errors import StorageError
+from ..obs.metrics import NullRegistry
 from .stats import IOStats
 
 DEFAULT_POOL_PAGES = 1024
@@ -49,12 +57,22 @@ class BufferPool:
         self,
         capacity: int = DEFAULT_POOL_PAGES,
         stats: Optional[IOStats] = None,
+        metrics=None,
     ) -> None:
         if capacity < 1:
             raise StorageError(f"pool capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.stats = stats if stats is not None else IOStats()
+        self.metrics = metrics if metrics is not None else NullRegistry()
         self._frames: "OrderedDict[Tuple, _Frame]" = OrderedDict()
+        # Hot-path instruments, resolved once.
+        self._m_hits = self.metrics.counter("pool.hits")
+        self._m_misses = self.metrics.counter("pool.misses")
+        self._m_evictions = self.metrics.counter("pool.evictions")
+        self._m_writebacks = self.metrics.counter("pool.dirty_writebacks")
+        self._m_pins = self.metrics.counter("pool.pins")
+        self._m_unpins = self.metrics.counter("pool.unpins")
+        self._m_resident = self.metrics.gauge("pool.resident")
 
     # ------------------------------------------------------------------
     # Access
@@ -67,7 +85,9 @@ class BufferPool:
         frame = self._frames.get(key)
         if frame is not None:
             self._frames.move_to_end(key)
+            self._m_hits.inc()
             return frame.node
+        self._m_misses.inc()
         raw = client.pager.read(page_id)  # pager counts the physical read
         node = client.decode_page(page_id, raw)
         self._admit(key, _Frame(client, node))
@@ -78,6 +98,7 @@ class BufferPool:
         key = (client.pool_key, page_id)
         if key in self._frames:
             raise StorageError(f"page {key} is already resident")
+        self.stats.logical_writes += 1
         frame = _Frame(client, node)
         frame.dirty = True
         self._admit(key, frame)
@@ -85,6 +106,7 @@ class BufferPool:
     def mark_dirty(self, client, page_id: int) -> None:
         """Record that a resident node was mutated in place."""
         frame = self._frames[(client.pool_key, page_id)]
+        self.stats.logical_writes += 1
         frame.dirty = True
 
     def contains(self, client, page_id: int) -> bool:
@@ -96,6 +118,7 @@ class BufferPool:
     def pin(self, client, page_id: int) -> None:
         """Exempt a resident page from eviction (counted; re-entrant)."""
         self._frames[(client.pool_key, page_id)].pins += 1
+        self._m_pins.inc()
 
     def unpin(self, client, page_id: int) -> None:
         key = (client.pool_key, page_id)
@@ -105,6 +128,7 @@ class BufferPool:
         if frame.pins <= 0:
             raise StorageError(f"unpin of unpinned page {key}")
         frame.pins -= 1
+        self._m_unpins.inc()
 
     # ------------------------------------------------------------------
     # Eviction and write-back
@@ -113,12 +137,15 @@ class BufferPool:
         while len(self._frames) >= self.capacity:
             self._evict_one()
         self._frames[key] = frame
+        self._m_resident.set(len(self._frames))
 
     def _evict_one(self) -> None:
         for key, frame in self._frames.items():  # LRU order
             if frame.pins == 0:
                 self._write_back(key, frame)
                 del self._frames[key]
+                self.stats.evictions += 1
+                self._m_evictions.inc()
                 return
         raise StorageError(
             f"buffer pool exhausted: all {len(self._frames)} frames pinned"
@@ -130,6 +157,8 @@ class BufferPool:
         raw = frame.client.encode_page(frame.node)
         frame.client.pager.write(key[1], raw)  # pager counts the write
         frame.dirty = False
+        self.stats.flushes += 1
+        self._m_writebacks.inc()
 
     def flush(self, client=None) -> None:
         """Write every dirty frame back (one client's, or all)."""
@@ -140,19 +169,25 @@ class BufferPool:
     def evict_all(self) -> None:
         """Flush then drop every unpinned frame (cold-cache resets)."""
         self.flush()
-        self._frames = OrderedDict(
+        kept = OrderedDict(
             (key, frame)
             for key, frame in self._frames.items()
             if frame.pins > 0
         )
+        dropped = len(self._frames) - len(kept)
+        self._frames = kept
+        self.stats.evictions += dropped
+        self._m_evictions.inc(dropped)
+        self._m_resident.set(len(self._frames))
 
     def discard(self, client, page_id: Optional[int] = None) -> None:
         """Drop a client's frames *without* write-back (tree dropped)."""
         if page_id is not None:
             self._frames.pop((client.pool_key, page_id), None)
-            return
-        for key in [k for k in self._frames if k[0] == client.pool_key]:
-            del self._frames[key]
+        else:
+            for key in [k for k in self._frames if k[0] == client.pool_key]:
+                del self._frames[key]
+        self._m_resident.set(len(self._frames))
 
     # ------------------------------------------------------------------
     @property

@@ -13,6 +13,8 @@ import os
 from typing import Dict, List
 
 from ..errors import StorageError
+from ..obs.metrics import MetricsRegistry, NullRegistry
+from ..obs.tracing import Tracer
 from .btree import BTree
 from .buffer_pool import DEFAULT_POOL_PAGES, BufferPool
 from .pager import DEFAULT_PAGE_SIZE, Pager
@@ -22,19 +24,34 @@ _SUFFIX = ".btree"
 
 
 class StorageEnvironment:
-    """All storage state of one Caldera database directory."""
+    """All storage state of one Caldera database directory.
+
+    Besides the shared pool and :class:`IOStats`, the environment owns
+    one :class:`~repro.obs.metrics.MetricsRegistry` that the pool, every
+    pager, and every tree report through — per-environment telemetry
+    with per-tree counters, cheap enough to leave on (pass
+    ``metrics=False`` for no-op instruments).
+    """
 
     def __init__(
         self,
         path: str,
         page_size: int = DEFAULT_PAGE_SIZE,
         pool_pages: int = DEFAULT_POOL_PAGES,
+        metrics=None,
     ) -> None:
         self.path = os.path.abspath(path)
         self.page_size = page_size
         os.makedirs(self.path, exist_ok=True)
         self.stats = IOStats()
-        self.pool = BufferPool(pool_pages, self.stats)
+        if metrics is None or metrics is True:
+            self.metrics = MetricsRegistry()
+        elif metrics is False:
+            self.metrics = NullRegistry()
+        else:
+            self.metrics = metrics
+        self.pool = BufferPool(pool_pages, self.stats,
+                               metrics=self.metrics)
         self._trees: Dict[str, BTree] = {}
         self._closed = False
 
@@ -58,8 +75,10 @@ class StorageEnvironment:
         if tree is None:
             file_path = self._check_name(name)
             pager = Pager(file_path, page_size=self.page_size,
-                          stats=self.stats, create=create)
-            tree = BTree(pager, self.pool, name=name, create=create)
+                          stats=self.stats, create=create,
+                          metrics=self.metrics)
+            tree = BTree(pager, self.pool, name=name, create=create,
+                         metrics=self.metrics)
             self._trees[name] = tree
         return tree
 
@@ -99,6 +118,14 @@ class StorageEnvironment:
         if not os.path.exists(file_path):
             raise StorageError(f"no such tree: {name!r}")
         return os.path.getsize(file_path)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def tracer(self, sink=None) -> Tracer:
+        """A span tracer bound to this environment's I/O counters and
+        metrics registry (span latencies land in ``span.<name>.ms``)."""
+        return Tracer(io=self.stats, registry=self.metrics, sink=sink)
 
     # ------------------------------------------------------------------
     # Cache control and lifecycle

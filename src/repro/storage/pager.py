@@ -20,6 +20,7 @@ import struct
 from typing import Optional
 
 from ..errors import PageError, StorageError
+from ..obs.metrics import NullRegistry
 from .stats import IOStats
 
 DEFAULT_PAGE_SIZE = 4096
@@ -40,9 +41,17 @@ class Pager:
         page_size: Optional[int] = None,
         stats: Optional[IOStats] = None,
         create: bool = True,
+        metrics=None,
     ) -> None:
         self.path = path
         self.stats = stats if stats is not None else IOStats()
+        self.metrics = metrics if metrics is not None else NullRegistry()
+        self._m_reads = self.metrics.counter("pager.physical_reads")
+        self._m_writes = self.metrics.counter("pager.physical_writes")
+        self._m_alloc_fresh = self.metrics.counter("pager.pages_allocated")
+        self._m_alloc_reused = self.metrics.counter("pager.pages_reused")
+        self._m_freed = self.metrics.counter("pager.pages_freed")
+        self._m_syncs = self.metrics.counter("pager.syncs")
         self._closed = False
         exists = os.path.exists(path) and os.path.getsize(path) > 0
         if not exists and not create:
@@ -94,6 +103,7 @@ class Pager:
         self._file.seek(0)
         self._file.write(raw.ljust(self.page_size, b"\x00"))
         self.stats.physical_writes += 1
+        self._m_writes.inc()
 
     # ------------------------------------------------------------------
     # Page I/O
@@ -113,6 +123,7 @@ class Pager:
         self._file.seek(page_id * self.page_size)
         raw = self._file.read(self.page_size)
         self.stats.physical_reads += 1
+        self._m_reads.inc()
         if len(raw) < self.page_size:
             raw = raw.ljust(self.page_size, b"\x00")
         return raw
@@ -130,6 +141,7 @@ class Pager:
         self._file.seek(page_id * self.page_size)
         self._file.write(data)
         self.stats.physical_writes += 1
+        self._m_writes.inc()
 
     # ------------------------------------------------------------------
     # Allocation
@@ -142,9 +154,11 @@ class Pager:
             page_id = self._free_head
             raw = self.read(page_id)
             (self._free_head,) = _FREE_LINK.unpack_from(raw)
+            self._m_alloc_reused.inc()
             return page_id
         page_id = self.num_pages
         self.num_pages += 1
+        self._m_alloc_fresh.inc()
         return page_id
 
     def free(self, page_id: int) -> None:
@@ -152,6 +166,7 @@ class Pager:
         self._check(page_id)
         self.write(page_id, _FREE_LINK.pack(self._free_head))
         self._free_head = page_id
+        self._m_freed.inc()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -162,6 +177,7 @@ class Pager:
             return
         self._write_meta()
         self._file.flush()
+        self._m_syncs.inc()
 
     def close(self) -> None:
         if self._closed:

@@ -8,11 +8,22 @@ physical reads drop to zero while its logical reads stay put, so cache
 effectiveness is directly visible in the counters (see DESIGN.md,
 substitution 1: page reads replace BDB wall-clock as the comparable
 cost metric).
+
+The write side mirrors it: a *logical write* is a page-mutation request
+from above (a node created or dirtied in the pool — writes that bypass
+the pool, like bulk-load streaming, count only as physical), an
+*eviction* is a frame dropped from the pool (capacity pressure or an
+explicit cold-cache reset), and a *flush* is one dirty frame written
+back to disk, whether by eviction or an explicit flush.
+
+Span tracing (:mod:`repro.obs.tracing`) snapshots and deltas this
+struct around every traced extent, so all six counters appear per-span
+in run manifests.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 
 @dataclass
@@ -22,26 +33,29 @@ class IOStats:
     logical_reads: int = 0
     physical_reads: int = 0
     physical_writes: int = 0
+    logical_writes: int = 0
+    evictions: int = 0
+    flushes: int = 0
 
     # ------------------------------------------------------------------
     def snapshot(self) -> "IOStats":
         """A frozen copy of the current counter values."""
         return IOStats(
-            self.logical_reads, self.physical_reads, self.physical_writes
+            **{f.name: getattr(self, f.name) for f in fields(self)}
         )
 
     def delta(self, since: "IOStats") -> "IOStats":
         """Counters accumulated since an earlier :meth:`snapshot`."""
         return IOStats(
-            self.logical_reads - since.logical_reads,
-            self.physical_reads - since.physical_reads,
-            self.physical_writes - since.physical_writes,
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
         )
 
     def reset(self) -> None:
-        self.logical_reads = 0
-        self.physical_reads = 0
-        self.physical_writes = 0
+        for f in fields(self):
+            setattr(self, f.name, 0)
 
     # ------------------------------------------------------------------
     @property
@@ -56,6 +70,8 @@ class IOStats:
     def summary(self) -> str:
         return (
             f"{self.logical_reads} logical / {self.physical_reads} physical "
-            f"reads, {self.physical_writes} writes "
+            f"reads, {self.logical_writes} logical / {self.physical_writes} "
+            f"physical writes, {self.evictions} evictions, "
+            f"{self.flushes} flushes "
             f"({self.hit_rate * 100.0:.1f}% hit rate)"
         )

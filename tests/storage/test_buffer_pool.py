@@ -147,3 +147,125 @@ def test_discard_drops_without_write_back(setup):
     pool.discard(client)
     assert pool.resident == 0
     assert pager.read(pages[0])[:4] != b"lost"
+
+
+# ----------------------------------------------------------------------
+# Eviction / flush / logical-write accounting (IOStats extension)
+# ----------------------------------------------------------------------
+def test_eviction_counter_counts_capacity_evictions(setup):
+    stats, _, client, pages = setup
+    pool = BufferPool(2, stats)
+    for page in pages[:5]:
+        pool.get(client, page)
+    # Capacity 2, five distinct pages -> three frames pushed out.
+    assert stats.evictions == 3
+
+
+def test_evict_all_counts_dropped_frames(setup):
+    stats, _, client, pages = setup
+    pool = BufferPool(8, stats)
+    for page in pages[:4]:
+        pool.get(client, page)
+    pool.pin(client, pages[0])
+    pool.evict_all()
+    assert stats.evictions == 3  # the pinned frame survives, uncounted
+    assert pool.resident == 1
+    pool.unpin(client, pages[0])
+
+
+def test_flush_counter_counts_dirty_write_backs_only(setup):
+    stats, _, client, pages = setup
+    pool = BufferPool(8, stats)
+    for page in pages[:4]:
+        pool.get(client, page)
+    pool.mark_dirty(client, pages[0])
+    pool.mark_dirty(client, pages[1])
+    pool.flush()
+    assert stats.flushes == 2  # clean frames never count
+    pool.flush()
+    assert stats.flushes == 2  # write-back cleared the dirty bits
+
+
+def test_eviction_of_dirty_frame_counts_flush(setup):
+    stats, _, client, pages = setup
+    pool = BufferPool(1, stats)
+    pool.get(client, pages[0])
+    pool.mark_dirty(client, pages[0])
+    pool.get(client, pages[1])  # evicts the dirty frame
+    assert stats.evictions == 1
+    assert stats.flushes == 1
+    assert stats.physical_writes == 1
+
+
+def test_logical_writes_count_mutation_requests(setup):
+    stats, pager, client, pages = setup
+    pool = BufferPool(8, stats)
+    pool.get(client, pages[0])
+    pool.mark_dirty(client, pages[0])
+    pool.mark_dirty(client, pages[0])  # every mutation event counts
+    page = pager.allocate()
+    pool.put_new(client, page, bytearray(b"new"))
+    assert stats.logical_writes == 3
+    assert stats.physical_writes == 0  # nothing written back yet
+
+
+def test_pool_metric_counters_mirror_behavior(setup):
+    from repro.obs import MetricsRegistry
+
+    stats, _, client, pages = setup
+    registry = MetricsRegistry()
+    pool = BufferPool(2, stats, metrics=registry)
+    for page in pages[:3]:
+        pool.get(client, page)
+    pool.get(client, pages[2])  # hit
+    pool.pin(client, pages[2])
+    pool.unpin(client, pages[2])
+    counters = registry.snapshot()["counters"]
+    assert counters["pool.misses"] == 3
+    assert counters["pool.hits"] == 1
+    assert counters["pool.evictions"] == 1
+    assert counters["pool.pins"] == 1
+    assert counters["pool.unpins"] == 1
+    assert registry.snapshot()["gauges"]["pool.resident"] == 2
+
+
+# ----------------------------------------------------------------------
+# hit_rate edge cases
+# ----------------------------------------------------------------------
+def test_hit_rate_with_no_reads_is_one():
+    assert IOStats().hit_rate == 1.0
+
+
+def test_hit_rate_all_misses_is_zero(setup):
+    stats, _, client, pages = setup
+    pool = BufferPool(1, stats)
+    pool.get(client, pages[0])
+    pool.get(client, pages[1])
+    assert stats.hit_rate == 0.0
+
+
+def test_hit_rate_never_negative():
+    # Physical reads can exceed logical reads (e.g. free-list walks and
+    # header reads bypass the pool); the rate must clamp at zero.
+    stats = IOStats(logical_reads=2, physical_reads=5)
+    assert stats.hit_rate == 0.0
+
+
+def test_snapshot_delta_reset_cover_all_fields():
+    from dataclasses import asdict
+
+    stats = IOStats(logical_reads=7, physical_reads=3, physical_writes=2,
+                    logical_writes=5, evictions=4, flushes=1)
+    snap = stats.snapshot()
+    assert asdict(snap) == asdict(stats)
+    stats.logical_writes += 2
+    stats.evictions += 1
+    stats.flushes += 3
+    delta = stats.delta(snap)
+    assert asdict(delta) == {
+        "logical_reads": 0, "physical_reads": 0, "physical_writes": 0,
+        "logical_writes": 2, "evictions": 1, "flushes": 3,
+    }
+    stats.reset()
+    assert asdict(stats) == asdict(IOStats())
+    assert "evictions" in stats.summary()

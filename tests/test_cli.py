@@ -1,0 +1,28 @@
+"""The CLI must work (or fail helpfully) while layers are unbuilt."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_help_does_not_crash(capsys):
+    # Regression: `python -m repro --help` used to die with
+    # ModuleNotFoundError because the engine was imported eagerly.
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args(["--help"])
+    assert excinfo.value.code == 0
+    assert "query" in capsys.readouterr().out
+
+
+def test_missing_layer_is_a_clear_error(tmp_path, capsys):
+    rc = main(["info", str(tmp_path / "db")])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "not yet implemented" in err
+    assert "repro." in err
+
+
+def test_unknown_command_is_usage_error():
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args(["frobnicate"])
+    assert excinfo.value.code == 2

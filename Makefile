@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-fast bench bench-storage figures \
-	figures-full examples clean
+.PHONY: install lint test test-fast bench bench-storage crash-sweep \
+	fsck figures figures-full examples clean
 
 lint:
 	ruff check src tests benchmarks examples
@@ -23,6 +23,25 @@ bench:
 
 bench-storage:
 	PYTHONPATH=src $(PYTHON) -m benchmarks.bench_storage_micro
+
+# Deterministic crash-point sweep: every single-fault schedule must
+# recover to a committed state with a clean fsck. Bounded (~30s);
+# exits non-zero on any recovery or verification failure.
+crash-sweep:
+	PYTHONPATH=src $(PYTHON) -m benchmarks.crash_sweep
+
+# Build a small database, verify it with the CLI deep checker.
+fsck:
+	@PYTHONPATH=src $(PYTHON) -c "\
+	import tempfile; \
+	from repro.storage import StorageEnvironment; \
+	d = tempfile.mkdtemp(prefix='fsck_smoke_'); \
+	env = StorageEnvironment(d, page_size=512); \
+	env.open_tree('t').bulk_load((b'k%05d' % i, b'v' * (i % 80)) for i in range(5000)); \
+	env.close(); \
+	print(d)" > .fsck_smoke_dir
+	PYTHONPATH=src $(PYTHON) -m repro fsck "$$(cat .fsck_smoke_dir)"
+	@rm -rf "$$(cat .fsck_smoke_dir)" .fsck_smoke_dir
 
 figures:
 	$(PYTHON) -m benchmarks.run_all

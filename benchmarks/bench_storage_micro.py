@@ -145,8 +145,14 @@ def _bench_build(workdir, items, tracer, registry):
     random.Random(7).shuffle(shuffled)
     with tracer.span("build_incremental", io=env.stats):
         start = time.perf_counter()
-        for key, value in shuffled:
+        for n, (key, value) in enumerate(shuffled, 1):
             tree.put(key, value)
+            # Commit periodically: page writes accumulate in the WAL
+            # until a flush checkpoints them, so an unbounded build
+            # would grow the log without bound (and measure nothing a
+            # real ingest would do — real loads commit in batches).
+            if n % 10_000 == 0:
+                tree.flush()
         tree.flush()
     rows.append({
         "strategy": "incremental(random order)",

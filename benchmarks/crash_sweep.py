@@ -1,0 +1,251 @@
+"""The crash-point sweep as a reportable benchmark (``make crash-sweep``).
+
+Runs the same deterministic single-fault methodology as
+``tests/storage/test_crash_sweep.py`` at a larger scale: a mixed
+workload (bulk load, upserts, deletes, overflow values, multiple
+trees) is probed once to learn its failpoint space, then every
+``(site, hit, action)`` schedule runs to its fault, loses its unsynced
+bytes, and must recover to a committed state with a clean fsck.
+
+Emits ``results/crash_sweep.{txt,json}`` plus a run manifest +
+span stream (``results/crash_sweep.manifest.json`` /
+``.spans.jsonl``) whose counters record schedules run, faults by
+action, recoveries replayed, and fsck pages checked. Bounded: the
+whole sweep is a few hundred small in-process runs, ~10-30s.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+
+from repro.errors import StorageError
+from repro.obs import MetricsRegistry
+from repro.storage import StorageEnvironment
+from repro.storage.faults import (
+    FaultInjector,
+    SimulatedCrash,
+    enumerate_schedules,
+)
+
+from .harness import finish_run, print_table, save_report, start_run
+
+PAGE_SIZE = 256
+POOL_PAGES = 12
+SWEEP_SEEDS = (0, 1, 2)
+MAX_HITS_PER_SITE = 8
+N_KEYS = 160
+
+
+def workload(env, mark):
+    state = {"t": {}, "u": {}}
+    t = env.open_tree("t")
+    u = env.open_tree("u")
+    mark({"t": dict(state["t"]), "u": dict(state["u"])})
+
+    items = [(f"k{i:05d}".encode(), bytes([i % 251]) * (10 + i % 90))
+             for i in range(N_KEYS)]
+    t.bulk_load(items)
+    state["t"].update(items)
+    mark({"t": dict(state["t"]), "u": dict(state["u"])})
+
+    for i in range(0, N_KEYS, 4):
+        key = f"k{i:05d}".encode()
+        t.put(key, b"rev2" * 8)
+        state["t"][key] = b"rev2" * 8
+    for i in range(2, N_KEYS, 16):
+        key = f"k{i:05d}".encode()
+        t.delete(key)
+        del state["t"][key]
+    for i in range(6):
+        key = f"blob{i}".encode()
+        value = bytes([97 + i]) * (PAGE_SIZE * 2 + 31 * i)
+        u.put(key, value)
+        state["u"][key] = value
+    env.flush()
+    mark({"t": dict(state["t"]), "u": dict(state["u"])})
+
+    u.delete(b"blob3")
+    del state["u"][b"blob3"]
+    for i in range(N_KEYS, N_KEYS + 30):
+        key = f"k{i:05d}".encode()
+        t.put(key, b"late")
+        state["t"][key] = b"late"
+    env.flush()
+    mark({"t": dict(state["t"]), "u": dict(state["u"])})
+
+
+def run_once(dirname, injector):
+    marks = []
+    env = StorageEnvironment(dirname, page_size=PAGE_SIZE,
+                             pool_pages=POOL_PAGES, metrics=False,
+                             faults=injector)
+    try:
+        workload(env, marks.append)
+        env.close()
+        if env.close_errors:
+            raise OSError(env.close_errors[0])
+        return marks, True
+    except (OSError, SimulatedCrash):
+        return marks, False
+
+
+def recover_and_verify(dirname, registry):
+    """Reopen cleanly; returns (state-dict or None, fsck_clean)."""
+    env = StorageEnvironment(dirname, page_size=PAGE_SIZE,
+                             pool_pages=POOL_PAGES, metrics=registry)
+    try:
+        state = {}
+        for name in ("t", "u"):
+            try:
+                state[name] = dict(env.open_tree(name, create=False).items())
+            except StorageError:
+                state[name] = None
+        report = env.fsck()
+        if state["t"] is None and state["u"] is None:
+            state = None
+        return state, report.clean
+    finally:
+        env.close()
+
+
+def tree_acceptable(marks, completed, finished, name, value):
+    """Each tree commits through its own WAL, so ``env.flush()`` is not
+    atomic across trees: a fault between the two commits may leave one
+    tree a mark ahead of the other. Zero committed-key loss is
+    therefore judged per tree — its recovered contents must equal that
+    tree's slice of a mark no earlier than the last completed one."""
+    if finished:
+        window = marks[-1:]
+    else:
+        window = marks[max(0, completed - 1):completed + 1]
+    return any(value == m[name] for m in window)
+
+
+def normalize(state):
+    """Recovered envs show a missing tree as None; marks use {}."""
+    if state is None:
+        return None
+    return {k: (v if v is not None else {}) for k, v in state.items()}
+
+
+def generate():
+    registry = MetricsRegistry()
+    manifest, tracer = start_run(
+        "crash_sweep",
+        config={
+            "page_size": PAGE_SIZE,
+            "pool_pages": POOL_PAGES,
+            "seeds": list(SWEEP_SEEDS),
+            "max_hits_per_site": MAX_HITS_PER_SITE,
+            "n_keys": N_KEYS,
+        },
+        registry=registry,
+    )
+    c_runs = registry.counter("sweep.schedules_run")
+    c_recovered = registry.counter("sweep.recovered_clean")
+    c_failures = registry.counter("sweep.failures")
+
+    workdir = tempfile.mkdtemp(prefix="crash_sweep_")
+    start = time.perf_counter()
+    failures = []
+    by_action = {}
+    by_site = {}
+    try:
+        probe = FaultInjector()
+        with tracer.span("baseline"):
+            marks, finished = run_once(f"{workdir}/baseline", probe)
+            assert finished and len(marks) == 4
+            state, clean = recover_and_verify(f"{workdir}/baseline",
+                                              registry)
+            assert clean and normalize(state) == marks[-1]
+
+        schedules = enumerate_schedules(probe.hits,
+                                        max_hits_per_site=MAX_HITS_PER_SITE)
+        with tracer.span("sweep", schedules=len(schedules),
+                         seeds=len(SWEEP_SEEDS)):
+            for seed in SWEEP_SEEDS:
+                for n, rule in enumerate(schedules):
+                    dirname = f"{workdir}/s{seed}_{n}"
+                    injector = FaultInjector([rule], seed=seed)
+                    run_marks, finished = run_once(dirname, injector)
+                    injector.crash()
+                    c_runs.inc()
+                    by_action[rule.action] = by_action.get(rule.action,
+                                                           0) + 1
+                    site = rule.site
+                    by_site[site] = by_site.get(site, 0) + 1
+                    state, clean = recover_and_verify(dirname, registry)
+                    ok = True
+                    if not clean:
+                        ok = False
+                        failures.append((seed, rule.label(), "fsck dirty"))
+                    completed = len(run_marks)
+                    state = normalize(state)
+                    if state is None:
+                        if completed > 0:
+                            ok = False
+                            failures.append((seed, rule.label(),
+                                             "committed trees vanished"))
+                    else:
+                        for name in ("t", "u"):
+                            if not tree_acceptable(marks, completed,
+                                                   finished, name,
+                                                   state[name]):
+                                ok = False
+                                failures.append(
+                                    (seed, rule.label(),
+                                     f"tree {name!r} matches no "
+                                     f"committed mark"))
+                    if ok:
+                        c_recovered.inc()
+                    shutil.rmtree(dirname, ignore_errors=True)
+        c_failures.inc(len(failures))
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    wall = time.perf_counter() - start
+
+    total = len(schedules) * len(SWEEP_SEEDS)
+    summary = [{
+        "schedules": total,
+        "seeds": len(SWEEP_SEEDS),
+        "failures": len(failures),
+        "wall_s": wall,
+    }]
+    site_rows = [
+        {"site": site, "schedules": count,
+         "of_which_failed": sum(1 for _, label, _r in failures
+                                if label.startswith(site + "#"))}
+        for site, count in sorted(by_site.items())
+    ]
+    text = print_table("Crash-point sweep", summary,
+                       columns=["schedules", "seeds", "failures", "wall_s"])
+    text += print_table("Schedules by failpoint site", site_rows,
+                        columns=["site", "schedules", "of_which_failed"])
+    if failures:
+        text += "FAILURES:\n" + "\n".join(
+            f"  seed={s} {label}: {reason}"
+            for s, label, reason in failures[:20]) + "\n"
+        print(text.splitlines()[-1])
+    data = {
+        "schedules": total,
+        "failures": [
+            {"seed": s, "rule": label, "reason": reason}
+            for s, label, reason in failures
+        ],
+        "by_action": by_action,
+        "by_site": by_site,
+        "wall_s": wall,
+    }
+    save_report("crash_sweep", text, data)
+    path = finish_run(manifest, tracer, registry=registry,
+                      extra={"failures": len(failures)})
+    print(f"run manifest: {path}")
+    if failures:
+        raise SystemExit(1)
+    return data
+
+
+if __name__ == "__main__":
+    generate()

@@ -9,6 +9,7 @@
     python -m repro query DB NAME "location=H1 -> location=O300" [options]
     python -m repro plan DB NAME QUERY     show the planner's choice
     python -m repro density DB NAME QUERY  data density w.r.t. a query
+    python -m repro fsck DB            verify checksums and tree structure
 
 The query subcommand prints the signal's top matches, optional detected
 events, and the run's cost (wall time + page I/O).
@@ -104,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
     density.add_argument("db")
     density.add_argument("stream")
     density.add_argument("query")
+
+    fsck = sub.add_parser("fsck", help="deep-verify a database: checksums, "
+                          "tree structure, page accounting")
+    fsck.add_argument("db", help="database directory")
+    fsck.add_argument("-q", "--quiet", action="store_true",
+                      help="print nothing; exit status carries the verdict")
     return parser
 
 
@@ -216,6 +223,24 @@ def cmd_density(args, out) -> int:
     return 0
 
 
+def cmd_fsck(args, out) -> int:
+    import os
+
+    from .storage import StorageEnvironment
+
+    if not os.path.isdir(args.db):
+        print(f"error: no such database directory: {args.db}",
+              file=sys.stderr)
+        return 2
+    # page_size=None adopts each file's on-disk geometry, so fsck works
+    # on databases built with any page size.
+    with StorageEnvironment(args.db, page_size=None) as env:
+        report = env.fsck()
+    if not args.quiet:
+        print(report.render(), file=out)
+    return 0 if report.clean else 1
+
+
 def cmd_drop(args, out) -> int:
     with _engine()(args.db) as db:
         db.drop_stream(args.stream)
@@ -232,6 +257,7 @@ _COMMANDS = {
     "plan": cmd_plan,
     "density": cmd_density,
     "drop": cmd_drop,
+    "fsck": cmd_fsck,
 }
 
 

@@ -19,8 +19,33 @@ class PageError(StorageError):
     """An invalid page id, corrupt page image, or page-size violation."""
 
 
+class CorruptPageError(PageError):
+    """A page image failed its checksum or structural validation.
+
+    Raised on every physical read whose frame checksum does not match,
+    and by the node codec / fsck when a page decodes to an impossible
+    structure — torn and corrupt pages are reported, never silently
+    decoded into garbage.
+    """
+
+
+class TornWriteError(StorageError):
+    """A write-ahead-log record was found incomplete or mis-checksummed.
+
+    Recovery treats the first torn record as the end of the log: the
+    record and everything after it are discarded (they were never
+    committed).
+    """
+
+
+class RecoveryError(StorageError):
+    """Write-ahead-log recovery could not restore a consistent state
+    (mismatched log geometry, unreadable log header, failed replay)."""
+
+
 class KeyEncodingError(StorageError):
-    """A value could not be encoded into an order-preserving key."""
+    """A value could not be encoded into an order-preserving key, or a
+    stored key could not be decoded back into a complete tuple."""
 
 
 class CatalogError(ReproError):

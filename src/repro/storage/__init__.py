@@ -10,26 +10,53 @@ bidirectional cursors, overflow chains, and bottom-up bulk loading) →
 and one counter). :mod:`~repro.storage.keyenc` supplies
 order-preserving composite keys; :mod:`~repro.storage.record` supplies
 length-prefixed value framing.
+
+Crash safety rides along the same stack: every pager carries a
+checksummed redo log (:mod:`~repro.storage.wal`) replayed on open,
+:mod:`~repro.storage.faults` injects deterministic failures beneath it
+all, and :mod:`~repro.storage.fsck` deep-verifies what survived.
 """
 
 from .btree import BTree, Cursor
 from .buffer_pool import DEFAULT_POOL_PAGES, BufferPool
 from .env import StorageEnvironment
+from .faults import (
+    NO_FAULTS,
+    FaultInjector,
+    FaultRule,
+    FaultyFile,
+    SimulatedCrash,
+    enumerate_schedules,
+)
+from .fsck import CheckReport, FsckReport, check_tree, fsck_environment
 from .keyenc import Desc, decode_key, encode_key, prefix_upper_bound
 from .pager import DEFAULT_PAGE_SIZE, Pager
 from .stats import IOStats
+from .wal import WAL_SUFFIX, WriteAheadLog
 
 __all__ = [
     "BTree",
     "BufferPool",
+    "CheckReport",
     "Cursor",
     "DEFAULT_PAGE_SIZE",
     "DEFAULT_POOL_PAGES",
     "Desc",
+    "FaultInjector",
+    "FaultRule",
+    "FaultyFile",
+    "FsckReport",
     "IOStats",
+    "NO_FAULTS",
     "Pager",
+    "SimulatedCrash",
     "StorageEnvironment",
+    "WAL_SUFFIX",
+    "WriteAheadLog",
+    "check_tree",
     "decode_key",
     "encode_key",
+    "enumerate_schedules",
+    "fsck_environment",
     "prefix_upper_bound",
 ]

@@ -37,7 +37,7 @@ import struct
 from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator, List, Optional, Tuple
 
-from ..errors import PageError, StorageError
+from ..errors import CorruptPageError, PageError, StorageError
 from ..obs.metrics import NullRegistry
 from .buffer_pool import BufferPool
 from .pager import Pager
@@ -221,7 +221,10 @@ class BTree:
             _, nxt, length = _OVF_HDR.unpack_from(raw)
             start = _OVF_HDR.size
             return OverflowNode(page_id, nxt, raw[start:start + length])
-        raise PageError(f"{self.name!r}: unknown page type 0x{kind:02x}")
+        raise CorruptPageError(
+            f"{self.name!r}: unknown page type 0x{kind:02x} on page "
+            f"{page_id}"
+        )
 
     def encode_page(self, node) -> bytes:
         if isinstance(node, LeafNode):
@@ -475,7 +478,7 @@ class BTree:
             page_id = node.next
         value = b"".join(parts)
         if len(value) != total:
-            raise PageError(
+            raise CorruptPageError(
                 f"{self.name!r}: overflow chain yielded {len(value)} bytes, "
                 f"expected {total}"
             )
@@ -664,6 +667,18 @@ class BTree:
                     ok = cur.prev()
         finally:
             cur.close()
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def check(self):
+        """Deep structural verification; returns a
+        :class:`~repro.storage.fsck.CheckReport` (flushes first so the
+        check sees the current disk image)."""
+        from .fsck import check_tree
+
+        self.flush()
+        return check_tree(self)
 
     # ------------------------------------------------------------------
     # Lifecycle

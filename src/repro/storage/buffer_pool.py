@@ -17,7 +17,11 @@ the client, which must expose:
 
 Pinned frames (``pins > 0``) are never evicted — cursors pin the one
 leaf they are positioned on. Dirty frames are encoded and written back
-when evicted or flushed.
+when evicted or flushed. Write-backs land in the pager's write-ahead
+log, never directly in the page file: the pager only moves frames
+in-place at a checkpoint, after the covering log records are fsynced,
+so an eviction can never expose the file to a torn uncommitted page
+(fsync-before-write-back ordering).
 
 Besides the environment-wide :class:`~repro.storage.stats.IOStats`
 (logical reads/writes, evictions, flushes), the pool reports hit/miss,
@@ -161,10 +165,16 @@ class BufferPool:
         self._m_writebacks.inc()
 
     def flush(self, client=None) -> None:
-        """Write every dirty frame back (one client's, or all)."""
-        for key, frame in self._frames.items():
+        """Write every dirty frame back (one client's, or all).
+
+        Write-back order is deterministic — sorted by (file, page id) —
+        so two runs of the same workload produce byte-identical
+        write-ahead logs and the crash-point sweep can replay a fault
+        schedule exactly.
+        """
+        for key in sorted(self._frames):
             if client is None or key[0] == client.pool_key:
-                self._write_back(key, frame)
+                self._write_back(key, self._frames[key])
 
     def evict_all(self) -> None:
         """Flush then drop every unpinned frame (cold-cache resets)."""

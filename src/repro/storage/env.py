@@ -10,15 +10,17 @@ cost is one delta on one counter no matter how many files it touches.
 from __future__ import annotations
 
 import os
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..errors import StorageError
 from ..obs.metrics import MetricsRegistry, NullRegistry
 from ..obs.tracing import Tracer
 from .btree import BTree
 from .buffer_pool import DEFAULT_POOL_PAGES, BufferPool
+from .faults import NO_FAULTS
 from .pager import DEFAULT_PAGE_SIZE, Pager
 from .stats import IOStats
+from .wal import WAL_SUFFIX
 
 _SUFFIX = ".btree"
 
@@ -36,9 +38,10 @@ class StorageEnvironment:
     def __init__(
         self,
         path: str,
-        page_size: int = DEFAULT_PAGE_SIZE,
+        page_size: Optional[int] = DEFAULT_PAGE_SIZE,
         pool_pages: int = DEFAULT_POOL_PAGES,
         metrics=None,
+        faults=None,
     ) -> None:
         self.path = os.path.abspath(path)
         self.page_size = page_size
@@ -50,10 +53,19 @@ class StorageEnvironment:
             self.metrics = NullRegistry()
         else:
             self.metrics = metrics
+        #: Failpoint registry every pager and WAL routes file I/O
+        #: through; NO_FAULTS (plain files) unless a test injects one.
+        self.faults = faults if faults is not None else NO_FAULTS
+        # Lifecycle spans (WAL recovery on tree open) land here.
+        self._lifecycle_tracer = Tracer(io=self.stats,
+                                        registry=self.metrics)
         self.pool = BufferPool(pool_pages, self.stats,
                                metrics=self.metrics)
         self._trees: Dict[str, BTree] = {}
         self._closed = False
+        #: Errors swallowed by best-effort :meth:`close` (e.g. closing
+        #: after a simulated crash), newest last.
+        self.close_errors: List[str] = []
 
     # ------------------------------------------------------------------
     # Tree management
@@ -76,9 +88,18 @@ class StorageEnvironment:
             file_path = self._check_name(name)
             pager = Pager(file_path, page_size=self.page_size,
                           stats=self.stats, create=create,
-                          metrics=self.metrics)
-            tree = BTree(pager, self.pool, name=name, create=create,
-                         metrics=self.metrics)
+                          metrics=self.metrics, faults=self.faults,
+                          tracer=self._lifecycle_tracer)
+            try:
+                tree = BTree(pager, self.pool, name=name, create=create,
+                             metrics=self.metrics)
+            except StorageError:
+                # Missing/corrupt tree header: release the clean pager
+                # (nothing dirty, so this performs no page writes).
+                # Anything else — a simulated crash above all — must
+                # propagate without touching the file again.
+                pager.close()
+                raise
             self._trees[name] = tree
         return tree
 
@@ -108,6 +129,11 @@ class StorageEnvironment:
             raise StorageError(f"no such tree: {name!r}")
         if os.path.exists(file_path):
             os.remove(file_path)
+        # A stale log must go with its file, or a future tree of the
+        # same name would replay the dead tree's pages.
+        wal_path = file_path + WAL_SUFFIX
+        if os.path.exists(wal_path):
+            os.remove(wal_path)
 
     def file_size(self, name: str) -> int:
         """On-disk bytes of one tree's file."""
@@ -142,13 +168,31 @@ class StorageEnvironment:
         self.flush()
         self.pool.evict_all()
 
+    def fsck(self):
+        """Deep-verify every tree and page file; returns a
+        :class:`~repro.storage.fsck.FsckReport`. Flushes first so the
+        check runs against the current on-disk image (a clean, flushed
+        environment fscks with zero page writes)."""
+        from .fsck import fsck_environment
+
+        self._check_open()
+        self.flush()
+        return fsck_environment(self)
+
     def close(self) -> None:
+        """Flush and close every tree. Idempotent, and best-effort: a
+        tree that cannot flush (e.g. its file handle died in a
+        simulated crash) is recorded in :attr:`close_errors` instead of
+        aborting the shutdown — the remaining trees still close."""
         if self._closed:
             return
-        for tree in self._trees.values():
-            tree.close()
-        self._trees.clear()
         self._closed = True
+        for name in sorted(self._trees):
+            try:
+                self._trees[name].close()
+            except (StorageError, OSError) as exc:
+                self.close_errors.append(f"{name}: {exc}")
+        self._trees.clear()
 
     @property
     def closed(self) -> bool:

@@ -1,0 +1,239 @@
+"""A checksummed, length-framed redo log — one per page file.
+
+The pager routes every page write into this log *first*; the main file
+is only touched by a checkpoint, which runs strictly after the log has
+been fsynced. That single ordering rule is the whole durability story:
+
+1. ``append(page_id, frame)`` — buffered write of one full physical
+   page frame (header + payload, checksum already embedded);
+2. ``commit(lsn)`` — a commit record, then flush + fsync. Everything
+   appended since the last reset is now durable; the commit record is
+   the atomicity boundary recovery honors;
+3. the pager checkpoints (in-place page writes, main-file fsync), then
+   calls ``reset()`` to truncate the log back to its header.
+
+A crash at any point leaves the main file restorable: records after the
+last commit were never promised, records before it replay idempotently
+(full page images), and a torn tail is detected by the per-record CRC
+and cut off. Recovery (:meth:`recover_into`) is itself crash-safe — it
+only writes committed images and re-running it is a no-op.
+
+Log layout::
+
+    header  := "CALW" | version u16 | page_size u32 | crc32 u32
+    record  := kind u8 | lsn u64 | page_id u64 | length u32
+               | payload[length] | crc32 u32     (crc over kind..payload)
+    kind    := 1 page image | 2 commit (length 0)
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Optional, Tuple
+
+from ..errors import RecoveryError, TornWriteError
+from ..obs.metrics import NullRegistry
+from .faults import NO_FAULTS, fsync_file
+
+WAL_SUFFIX = ".wal"
+
+_MAGIC = b"CALW"
+_VERSION = 1
+_FILE_HDR = struct.Struct(">4sHII")     # magic, version, page_size, crc
+_REC_HDR = struct.Struct(">BQQI")       # kind, lsn, page_id, length
+_CRC = struct.Struct(">I")
+
+KIND_PAGE = 1
+KIND_COMMIT = 2
+
+
+def _header_bytes(page_size: int) -> bytes:
+    body = _FILE_HDR.pack(_MAGIC, _VERSION, page_size, 0)[:-_CRC.size]
+    return body + _CRC.pack(zlib.crc32(body))
+
+
+class WriteAheadLog:
+    """The redo log beside one page file (``<file>.wal``)."""
+
+    def __init__(self, path: str, faults=None, metrics=None,
+                 stats=None) -> None:
+        self.path = path
+        self.faults = faults if faults is not None else NO_FAULTS
+        self.metrics = metrics if metrics is not None else NullRegistry()
+        self.stats = stats
+        self._m_appends = self.metrics.counter("wal.appends")
+        self._m_commits = self.metrics.counter("wal.commits")
+        self._m_fsyncs = self.metrics.counter("wal.fsyncs")
+        self._m_recoveries = self.metrics.counter("wal.recoveries")
+        self._m_replayed = self.metrics.counter("wal.records_replayed")
+        self._m_applied = self.metrics.counter("wal.pages_applied")
+        self._m_torn = self.metrics.counter("wal.torn_tails")
+        self._m_truncations = self.metrics.counter("wal.truncations")
+        self._m_bytes = self.metrics.gauge("wal.bytes")
+        if not os.path.exists(path):
+            with open(path, "wb"):
+                pass
+        self._file = self.faults.open(path, "r+b")
+        self.page_size: Optional[int] = None
+        self._size = 0
+        self._read_header()
+
+    # ------------------------------------------------------------------
+    # Header
+    # ------------------------------------------------------------------
+    def _read_header(self) -> None:
+        """Learn the log's geometry; an unreadable header means no
+        record in the log was ever committed, so it carries nothing."""
+        self._file.seek(0, 2)
+        self._size = self._file.tell()
+        if self._size < _FILE_HDR.size:
+            return
+        self._file.seek(0)
+        raw = self._file.read(_FILE_HDR.size)
+        magic, version, page_size, crc = _FILE_HDR.unpack(raw)
+        if magic != _MAGIC or version != _VERSION:
+            return
+        if crc != zlib.crc32(raw[:-_CRC.size]):
+            return
+        self.page_size = page_size
+
+    @property
+    def pending(self) -> bool:
+        """True when the log holds records that may need replay."""
+        return self.page_size is not None and self._size > _FILE_HDR.size
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def initialize(self, page_size: int) -> None:
+        """Bind the log to its pager's geometry, writing (or resetting
+        to) a fresh header when the log is empty, stale, or torn."""
+        if self.page_size == page_size and self._size >= _FILE_HDR.size:
+            return
+        if self.pending:
+            raise RecoveryError(
+                f"{self.path}: log has pending records for "
+                f"{self.page_size}-byte pages, cannot re-initialize for "
+                f"{page_size}-byte pages"
+            )
+        self.page_size = page_size
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def _append_record(self, site: str, kind: int, lsn: int, page_id: int,
+                       payload: bytes) -> None:
+        head = _REC_HDR.pack(kind, lsn, page_id, len(payload))
+        record = head + payload
+        record += _CRC.pack(zlib.crc32(record))
+        self._file.seek(0, 2)
+        self.faults.fire(site, handle=self._file, data=record)
+        self._file.write(record)
+        self._size += len(record)
+        self._m_bytes.set(self._size)
+
+    def append(self, page_id: int, frame: bytes, lsn: int) -> None:
+        """Log one full physical page frame (buffered; durable only
+        after the next :meth:`commit`)."""
+        self._append_record("wal.append", KIND_PAGE, lsn, page_id, frame)
+        self._m_appends.inc()
+
+    def commit(self, lsn: int) -> None:
+        """The durability point: commit record, then flush + fsync."""
+        self._append_record("wal.commit", KIND_COMMIT, lsn, 0, b"")
+        self.faults.fire("wal.fsync", handle=self._file)
+        fsync_file(self._file)
+        self._m_commits.inc()
+        self._m_fsyncs.inc()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _scan(self) -> Tuple[dict, int, int]:
+        """All committed page frames: ``(frames, records_seen,
+        valid_end_offset)``. Stops at the first torn or mis-checksummed
+        record; pending (uncommitted) records are discarded."""
+        committed: dict = {}
+        pending: dict = {}
+        seen = 0
+        valid_end = _FILE_HDR.size
+        self._file.seek(_FILE_HDR.size)
+        pos = _FILE_HDR.size
+        while True:
+            head = self._file.read(_REC_HDR.size)
+            if len(head) < _REC_HDR.size:
+                if head:
+                    self._m_torn.inc()
+                break
+            kind, lsn, page_id, length = _REC_HDR.unpack(head)
+            body = self._file.read(length + _CRC.size)
+            if len(body) < length + _CRC.size:
+                self._m_torn.inc()
+                break
+            payload, crc = body[:length], _CRC.unpack(body[length:])[0]
+            if crc != zlib.crc32(head + payload) or kind not in (
+                KIND_PAGE, KIND_COMMIT
+            ):
+                self._m_torn.inc()
+                break
+            pos += len(head) + len(body)
+            seen += 1
+            if kind == KIND_PAGE:
+                pending[page_id] = (lsn, payload)
+            else:
+                committed.update(pending)
+                pending.clear()
+                valid_end = pos
+        return committed, seen, valid_end
+
+    def recover_into(self, main_file, frame_size: int) -> int:
+        """Replay every committed page frame into ``main_file`` (not yet
+        fsynced — the caller owns checkpoint ordering). Returns the
+        number of pages applied."""
+        if self.page_size is None:
+            raise RecoveryError(f"{self.path}: unreadable log header")
+        committed, seen, _ = self._scan()
+        self._m_recoveries.inc()
+        self._m_replayed.inc(seen)
+        for page_id in sorted(committed):
+            lsn, frame = committed[page_id]
+            if len(frame) != frame_size:
+                raise TornWriteError(
+                    f"{self.path}: committed frame for page {page_id} is "
+                    f"{len(frame)} bytes, expected {frame_size}"
+                )
+            main_file.seek(page_id * frame_size)
+            self.faults.fire("recover.apply", handle=main_file, data=frame)
+            main_file.write(frame)
+            self._m_applied.inc()
+            if self.stats is not None:
+                self.stats.physical_writes += 1
+        return len(committed)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Truncate back to a bare header (post-checkpoint, when the
+        main file durably holds everything the log was protecting)."""
+        self.faults.fire("wal.truncate", handle=self._file)
+        self._file.seek(0)
+        self._file.truncate(0)
+        header = _header_bytes(self.page_size or 0)
+        self._file.write(header)
+        fsync_file(self._file)
+        self._size = len(header)
+        self._m_truncations.inc()
+        self._m_fsyncs.inc()
+        self._m_bytes.set(self._size)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __repr__(self) -> str:
+        return f"WriteAheadLog({self.path!r}, {self._size}B)"

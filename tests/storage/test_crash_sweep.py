@@ -1,0 +1,161 @@
+"""The headline crash test: a deterministic sweep of single-fault
+schedules over a mixed workload. For every (failpoint, hit, action)
+the workload runs until the fault, the "machine" loses its unsynced
+bytes, and the reopened environment must hold exactly one of the
+workload's committed states — at least the last one whose flush
+returned — with a clean fsck. No subprocesses, no timing, no luck.
+"""
+
+
+from repro.errors import StorageError
+from repro.storage import StorageEnvironment
+from repro.storage.faults import (
+    FaultInjector,
+    SimulatedCrash,
+    enumerate_schedules,
+)
+
+PAGE_SIZE = 256
+POOL_PAGES = 8
+SWEEP_SEEDS = (0, 1)
+MAX_HITS_PER_SITE = 6
+
+
+def workload(env, mark):
+    """A small but structurally rich history: bulk load, upserts,
+    deletes, overflow values. ``mark(state)`` is called right after
+    each flush with the dict the tree must hold if that flush's commit
+    proves durable."""
+    state = {}
+    tree = env.open_tree("t")
+    mark(dict(state))  # creation flushed an empty tree
+
+    items = [(f"k{i:04d}".encode(), bytes([i % 251]) * (20 + i % 60))
+             for i in range(90)]
+    tree.bulk_load(items)  # bulk_load flushes
+    state.update(items)
+    mark(dict(state))
+
+    for i in range(0, 90, 3):
+        key = f"k{i:04d}".encode()
+        tree.put(key, b"updated" * 4)
+        state[key] = b"updated" * 4
+    for i in range(1, 90, 9):
+        key = f"k{i:04d}".encode()
+        tree.delete(key)
+        del state[key]
+    tree.flush()
+    mark(dict(state))
+
+    # Overflow values (> page/4 spills into chained pages).
+    for i in range(4):
+        key = f"big{i}".encode()
+        value = bytes([65 + i]) * (PAGE_SIZE * 2 + i * 37)
+        tree.put(key, value)
+        state[key] = value
+    tree.delete(b"big1")
+    del state[b"big1"]
+    tree.flush()
+    mark(dict(state))
+
+
+def run_once(dirname, injector):
+    """Run the workload under ``injector``; returns (marks, completed)
+    where ``completed`` counts flushes that returned successfully."""
+    marks = []
+    env = StorageEnvironment(dirname, page_size=PAGE_SIZE,
+                             pool_pages=POOL_PAGES, metrics=False,
+                             faults=injector)
+    try:
+        workload(env, lambda s: marks.append(s))
+        env.close()
+        if env.close_errors:
+            raise OSError(env.close_errors[0])
+        return marks, len(marks), True
+    except (OSError, SimulatedCrash):
+        return marks, len(marks), False
+
+
+def recovered_state(dirname):
+    """Reopen cleanly and read back everything, fsck included. Returns
+    None when the tree never committed its creation."""
+    env = StorageEnvironment(dirname, page_size=PAGE_SIZE,
+                             pool_pages=POOL_PAGES, metrics=False)
+    try:
+        try:
+            tree = env.open_tree("t", create=False)
+        except StorageError:
+            return None  # crashed before the creation commit
+        state = dict(tree.items())
+        report = env.fsck()
+        assert report.clean, (dirname, report.all_errors()[:4])
+        return state
+    finally:
+        env.close()
+        assert not env.close_errors
+
+
+def baseline_marks_and_hits(tmp_path):
+    probe = FaultInjector()  # unarmed: counts failpoint hits
+    base_dir = str(tmp_path / "baseline")
+    marks, completed, finished = run_once(base_dir, probe)
+    assert finished and completed == len(marks) == 4
+    # The no-fault run must itself verify.
+    assert recovered_state(base_dir) == marks[-1]
+    return marks, probe.hits
+
+
+def test_seeded_crash_point_sweep(tmp_path):
+    marks, site_hits = baseline_marks_and_hits(tmp_path)
+    schedules = enumerate_schedules(site_hits,
+                                    max_hits_per_site=MAX_HITS_PER_SITE)
+    total = len(schedules) * len(SWEEP_SEEDS)
+    assert total >= 200, (total, site_hits)
+
+    failures = []
+    for seed in SWEEP_SEEDS:
+        for n, rule in enumerate(schedules):
+            dirname = str(tmp_path / f"s{seed}_{n}")
+            injector = FaultInjector([rule], seed=seed)
+            run_marks, completed, finished = run_once(dirname, injector)
+            if finished and not injector.fired:
+                failures.append((seed, rule.label(), "never fired"))
+                continue
+            assert run_marks == marks[:completed]  # deterministic prefix
+            injector.crash()  # drop every unsynced byte everywhere
+            state = recovered_state(dirname)
+            # Zero committed-key loss: the recovered state must be the
+            # last mark whose flush returned, or — if the fault struck
+            # mid-flush after its commit became durable — the very next
+            # one. Never anything earlier, later, or in between.
+            if finished:
+                acceptable = marks[-1:]
+            else:
+                acceptable = marks[max(0, completed - 1):completed + 1]
+            if state is None:
+                if completed > 0:
+                    failures.append((seed, rule.label(),
+                                     "committed tree vanished"))
+            elif state not in acceptable:
+                failures.append((seed, rule.label(),
+                                 f"recovered state matches no mark near "
+                                 f"{completed}"))
+    assert not failures, failures[:10]
+
+
+def test_sweep_is_deterministic(tmp_path):
+    """Same rule, same seed, different directory: byte-identical fault
+    behavior (fired labels and recovered contents)."""
+    _, site_hits = baseline_marks_and_hits(tmp_path)
+    rule = next(r for r in enumerate_schedules(site_hits)
+                if r.site == "wal.append" and r.action == "torn")
+
+    outcomes = []
+    for run in range(2):
+        dirname = str(tmp_path / f"det{run}")
+        injector = FaultInjector([rule], seed=42)
+        run_once(dirname, injector)
+        injector.crash()
+        outcomes.append((tuple(injector.fired),
+                         recovered_state(dirname)))
+    assert outcomes[0] == outcomes[1]

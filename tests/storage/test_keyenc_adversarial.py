@@ -1,0 +1,134 @@
+"""Adversarial key-codec inputs: the decoder must return a complete
+tuple or raise KeyEncodingError — never a partial or garbage tuple."""
+
+import pytest
+
+from repro.errors import KeyEncodingError
+from repro.storage.keyenc import Desc, decode_key, encode_key
+
+
+# ----------------------------------------------------------------------
+# Edges of the valid domain
+# ----------------------------------------------------------------------
+
+def test_empty_tuple_round_trips():
+    assert encode_key(()) == b""
+    assert decode_key(b"") == ()
+
+
+def test_empty_string_and_bytes_components():
+    for key in [("",), (b"",), ("", ""), (b"", 0, "")]:
+        assert decode_key(encode_key(key)) == key
+    # An empty payload still sorts before any non-empty one.
+    assert encode_key(("",)) < encode_key(("a",))
+
+
+def test_0xff_saturated_components():
+    blob = b"\xff" * 64
+    key = (blob, "ÿ" * 8, blob)
+    assert decode_key(encode_key(key)) == key
+    # 0xFF bytes must not collide with the escape machinery for 0x00.
+    tricky = (b"\x00\xff\x00\xff\xff\x00",)
+    assert decode_key(encode_key(tricky)) == tricky
+
+
+def test_nul_heavy_components_round_trip_in_order():
+    keys = [(b"\x00",), (b"\x00\x00",), (b"\x00\x01",), (b"\x01",)]
+    encoded = [encode_key(k) for k in keys]
+    assert encoded == sorted(encoded)  # order preserved
+    assert [decode_key(e) for e in encoded] == keys
+
+
+def test_max_length_components():
+    # Far beyond any real key the indexes build; must stay invertible.
+    key = ("x" * 4096, b"\x00" * 4096, 2**63 - 1, -(2**63))
+    assert decode_key(encode_key(key)) == key
+
+
+def test_int_extremes_and_float_edges():
+    key = (-(2**63), 2**63 - 1, float("-inf"), -0.0, 0.0, float("inf"))
+    assert decode_key(encode_key(key)) == key
+    assert encode_key((-(2**63),)) < encode_key((0,)) \
+        < encode_key((2**63 - 1,))
+
+
+# ----------------------------------------------------------------------
+# Truncated and corrupt buffers: KeyEncodingError, never partial tuples
+# ----------------------------------------------------------------------
+
+def every_truncation(data):
+    return [data[:n] for n in range(len(data))]
+
+
+@pytest.mark.parametrize("key", [
+    (42,),
+    (3.14,),
+    ("street", 7),
+    (b"bytes\x00more", -1),
+    (Desc(9), "tail"),
+    (None, 1, 2.5, "s", b"b", Desc(0.5)),
+])
+def test_truncations_never_yield_partial_tuples(key):
+    data = encode_key(key)
+    for prefix in every_truncation(data):
+        try:
+            decoded = decode_key(prefix)
+        except KeyEncodingError:
+            continue  # the only acceptable failure mode
+        # A truncation can accidentally be a *complete* valid encoding
+        # (e.g. cutting a byte string at its escape boundary), but then
+        # the decode must be the exact inverse of encode for those
+        # bytes — re-encoding reproduces the buffer, so no mangled or
+        # partial component was ever accepted. (Desc decodes to its
+        # plain value by contract, so re-wrap from the original shape.)
+        rewrapped = tuple(
+            Desc(value) if isinstance(original, Desc) else value
+            for value, original in zip(decoded, key)
+        )
+        assert encode_key(rewrapped) == prefix
+
+
+def test_unknown_tag_raises():
+    with pytest.raises(KeyEncodingError):
+        decode_key(b"\x7f")
+    with pytest.raises(KeyEncodingError):
+        decode_key(b"\xff\x00\x00")
+
+
+def test_missing_terminator_raises():
+    # A string component whose 0x00 terminator was cut off.
+    with pytest.raises(KeyEncodingError):
+        decode_key(b"\x30abc")
+
+
+def test_dangling_escape_raises():
+    # 0x00 0xFF is the escape for a literal NUL; ending the buffer on
+    # the escape leaves the component unterminated.
+    with pytest.raises(KeyEncodingError):
+        decode_key(b"\x30ab\x00\xff")
+
+
+def test_bad_desc_inner_tag_raises():
+    data = bytearray(encode_key((Desc(5),)))
+    data[1] = 0x00  # inner tag byte: 0xFF - 0x00 = garbage
+    with pytest.raises(KeyEncodingError):
+        decode_key(bytes(data))
+
+
+def test_truncated_desc_payload_raises():
+    data = encode_key((Desc(5),))
+    with pytest.raises(KeyEncodingError):
+        decode_key(data[:4])
+
+
+def test_encode_rejects_bad_inputs():
+    with pytest.raises(KeyEncodingError):
+        encode_key("bare string")  # must be a tuple of components
+    with pytest.raises(KeyEncodingError):
+        encode_key((object(),))
+    with pytest.raises(KeyEncodingError):
+        encode_key((float("nan"),))
+    with pytest.raises(KeyEncodingError):
+        encode_key((Desc("strings-not-fixed-width"),))
+    with pytest.raises(KeyEncodingError):
+        encode_key((2**63,))

@@ -26,3 +26,37 @@ def test_unknown_command_is_usage_error():
     with pytest.raises(SystemExit) as excinfo:
         build_parser().parse_args(["frobnicate"])
     assert excinfo.value.code == 2
+
+
+def test_fsck_clean_database(tmp_path, capsys):
+    from repro.storage import StorageEnvironment
+
+    db = str(tmp_path / "db")
+    with StorageEnvironment(db, page_size=256) as env:
+        tree = env.open_tree("t")
+        tree.bulk_load((f"k{i:03d}".encode(), b"v") for i in range(50))
+    assert main(["fsck", db]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out and "'t'" in out
+
+
+def test_fsck_flags_corruption(tmp_path, capsys):
+    from repro.storage import StorageEnvironment
+    from repro.storage.pager import PAGE_HEADER_SIZE
+
+    db = str(tmp_path / "db")
+    with StorageEnvironment(db, page_size=256) as env:
+        tree = env.open_tree("t")
+        tree.bulk_load((f"k{i:03d}".encode(), b"v") for i in range(200))
+    with open(str(tmp_path / "db" / "t.btree"), "r+b") as fh:
+        fh.seek(3 * (256 + PAGE_HEADER_SIZE) + PAGE_HEADER_SIZE)
+        fh.write(b"\xde\xad\xbe\xef")
+    assert main(["fsck", db]) == 1
+    assert "ERROR" in capsys.readouterr().out
+    assert main(["fsck", "--quiet", db]) == 1
+    assert capsys.readouterr().out == ""
+
+
+def test_fsck_missing_directory(tmp_path, capsys):
+    assert main(["fsck", str(tmp_path / "nope")]) == 2
+    assert "no such database" in capsys.readouterr().err

@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-fast bench bench-storage crash-sweep \
-	fsck figures figures-full examples clean
+.PHONY: install lint test test-fast bench bench-storage bench-streams \
+	crash-sweep fsck figures figures-full examples clean
 
 lint:
 	ruff check src tests benchmarks examples
@@ -23,6 +23,18 @@ bench:
 
 bench-storage:
 	PYTHONPATH=src $(PYTHON) -m benchmarks.bench_storage_micro
+
+# Streams/access-method benchmarks: Fig 4 signal, Fig 8a layout costs,
+# and the Reg kernel shootout. Each emits a run manifest; the fig8a
+# logical-read counters are then diffed against the committed baseline
+# (deterministic counters only — wall times never fail the guard).
+bench-streams:
+	PYTHONPATH=src $(PYTHON) -m benchmarks.bench_fig4_signal
+	PYTHONPATH=src $(PYTHON) -m benchmarks.bench_fig8a_layouts
+	PYTHONPATH=src $(PYTHON) -m benchmarks.bench_reg_kernel
+	PYTHONPATH=src $(PYTHON) -m repro.obs.report \
+		benchmarks/baselines/fig8a.manifest.json \
+		benchmarks/results/fig8a.manifest.json --fail-on-change
 
 # Deterministic crash-point sweep: every single-fault schedule must
 # recover to a committed state with a clean fsck. Bounded (~30s);

@@ -2,16 +2,19 @@
 
 Datasets mirror §4.1:
 
-- **synthetic** (§4.1.1): snippet-concatenated streams over the
-  paper-scale two-floor building, with controlled data density and
-  query-match rate; 30,000 timesteps at full scale (1,000 snippets),
-  scaled to 3,000 by default so the whole suite runs in minutes of pure
-  Python (set ``REPRO_BENCH_FULL=1`` for paper scale).
-- **routines** (§4.1.2): simulated daily routines of several people —
-  the "real data" substitute with bimodal density.
+- **synthetic** (§4.1.1): snippet-concatenated streams with controlled
+  data density and query-match rate. When the RFID simulator
+  (:mod:`repro.rfid`) is available these live in the paper-scale
+  two-floor building (30,000 timesteps at full scale); until then the
+  streams-level generator (:mod:`repro.streams.synthetic`) provides the
+  same snippet construction over a small cell grid.
+- **routines** (§4.1.2): simulated daily routines — the "real data"
+  substitute with bimodal density.
 
-Built databases are cached on disk under ``benchmarks/.cache`` keyed by
-their parameters, so repeated benchmark runs skip regeneration.
+Scaled down by default so the whole suite runs in minutes of pure
+Python; set ``REPRO_BENCH_FULL=1`` for paper scale. Built databases are
+cached on disk under ``benchmarks/.cache`` keyed by their parameters,
+so repeated benchmark runs skip regeneration.
 """
 
 from __future__ import annotations
@@ -22,14 +25,20 @@ import shutil
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import Caldera
-from repro.rfid import (
-    RFIDSensorModel,
-    default_deployment,
-    routine_dataset,
-    synthesize_stream,
-    uw_building,
-)
 from repro.streams import Layout
+
+try:  # The building/antenna simulator is a later PR.
+    from repro.rfid import (  # noqa: F401
+        RFIDSensorModel,
+        default_deployment,
+        routine_dataset,
+        synthesize_stream,
+        uw_building,
+    )
+
+    HAVE_RFID = True
+except ModuleNotFoundError:
+    HAVE_RFID = False
 
 CACHE_ROOT = os.environ.get(
     "REPRO_BENCH_CACHE",
@@ -44,9 +53,14 @@ ROUTINE_DURATION = 1683 if FULL_SCALE else 600
 ROUTINE_PEOPLE = 8 if FULL_SCALE else 4
 
 PAGE_SIZE = 8192
-#: The synthetic target: an office off floor-0 corridor-0 segment 5.
-TARGET_ROOM = "F0C0R5a"
-TARGET_DOORWAY = "F0C0H5"
+
+if HAVE_RFID:
+    #: The synthetic target: an office off floor-0 corridor-0 segment 5.
+    TARGET_ROOM = "F0C0R5a"
+    TARGET_DOORWAY = "F0C0H5"
+else:
+    TARGET_ROOM = "Room"
+    TARGET_DOORWAY = "Door"
 
 ENTERED_ROOM_QUERY = f"location={TARGET_DOORWAY} -> location={TARGET_ROOM}"
 ENTERED_ROOM_KLEENE = (
@@ -58,7 +72,12 @@ _world_cache: Dict[str, object] = {}
 
 
 def world():
-    """The shared building, sensors, and state space (memoized)."""
+    """The shared building, sensors, and state space (memoized).
+
+    Requires :mod:`repro.rfid`.
+    """
+    if not HAVE_RFID:
+        raise ModuleNotFoundError("repro.rfid is not implemented yet")
     if not _world_cache:
         plan = uw_building()
         sensors = RFIDSensorModel(plan, default_deployment(plan))
@@ -99,12 +118,12 @@ def synthetic_db(
     num_snippets: Optional[int] = None,
     layouts: Sequence[Layout] = (Layout.SEPARATED,),
     seed: int = 7,
-    mc_alpha: int = 2,
+    mc_alpha: Optional[int] = None,
 ) -> Caldera:
     """A Caldera DB holding one synthetic stream per requested layout.
 
-    Stream names are ``syn_{layout.value}``. Fully indexed (BT_C, BT_P,
-    MC index).
+    Stream names are ``syn_{layout.value}``. Indexed with BT_C and BT_P
+    (plus the MC index when ``mc_alpha`` is set — requires the MC PR).
     """
     num_snippets = num_snippets if num_snippets is not None else SYNTHETIC_SNIPPETS
     params = {
@@ -115,17 +134,26 @@ def synthetic_db(
         "seed": seed,
         "mc_alpha": mc_alpha,
         "target": TARGET_ROOM,
+        "rfid": HAVE_RFID,
     }
     path, built = _cache_dir("synthetic", params)
     db = Caldera(path, page_size=PAGE_SIZE)
     if built:
         return db
-    plan, sensors, space = world()
-    stream = synthesize_stream(
-        plan, sensors, "syn", target_room=TARGET_ROOM,
-        num_snippets=num_snippets, density=density, match_rate=match_rate,
-        seed=seed, space=space, prune=1e-3,
-    )
+    if HAVE_RFID:
+        plan, sensors, space = world()
+        stream = synthesize_stream(
+            plan, sensors, "syn", target_room=TARGET_ROOM,
+            num_snippets=num_snippets, density=density,
+            match_rate=match_rate, seed=seed, space=space, prune=1e-3,
+        )
+    else:
+        from repro.streams import synthetic_stream
+
+        stream = synthetic_stream(
+            "syn", num_snippets=num_snippets, density=density,
+            match_rate=match_rate, seed=seed,
+        )
     for layout in layouts:
         stream.name = f"syn_{layout.value}"
         db.archive(stream, layout=layout, mc_alpha=mc_alpha)
@@ -138,10 +166,11 @@ def routines_db(
     duration: Optional[int] = None,
     seed: int = 11,
     layout: Layout = Layout.SEPARATED,
-    mc_alpha: int = 2,
+    mc_alpha: Optional[int] = None,
 ) -> Caldera:
     """A Caldera DB holding the routine ("real data") streams
-    ``person0..personN`` plus the LocationType dimension table."""
+    ``person0..personN`` (plus the LocationType dimension table when
+    the RFID simulator provides one)."""
     num_people = num_people if num_people is not None else ROUTINE_PEOPLE
     duration = duration if duration is not None else ROUTINE_DURATION
     params = {
@@ -150,20 +179,32 @@ def routines_db(
         "seed": seed,
         "layout": layout.value,
         "mc_alpha": mc_alpha,
+        "rfid": HAVE_RFID,
     }
     path, built = _cache_dir("routines", params)
     db = Caldera(path, page_size=PAGE_SIZE)
     if built:
         return db
-    plan, sensors, space = world()
-    db.register_dimension_table("LocationType", plan.dimension_table())
-    streams = routine_dataset(
-        plan, sensors, num_people=num_people, duration=duration, seed=seed,
-        space=space, prune=1e-3,
-    )
-    for stream in streams:
-        db.archive(stream, layout=layout, mc_alpha=mc_alpha,
-                   join_tables=("LocationType",))
+    if HAVE_RFID:
+        plan, sensors, space = world()
+        db.register_dimension_table("LocationType", plan.dimension_table())
+        streams = routine_dataset(
+            plan, sensors, num_people=num_people, duration=duration,
+            seed=seed, space=space, prune=1e-3,
+        )
+        for stream in streams:
+            db.archive(stream, layout=layout, mc_alpha=mc_alpha,
+                       join_tables=("LocationType",))
+    else:
+        from repro.streams import routine_stream
+
+        snippets = max(3, duration // 30)
+        for person in range(num_people):
+            stream = routine_stream(
+                f"person{person}", num_snippets=snippets,
+                seed=seed + person,
+            )
+            db.archive(stream, layout=layout, mc_alpha=mc_alpha)
     _mark_built(path, params)
     return db
 
@@ -175,8 +216,12 @@ def room_queries_for(db: Caldera, stream_name: str, count: int = 22,
     Mirrors §4.2.2's 22 Entered-Room queries on one real stream: one
     query per room (its doorway then the room), ordered by decreasing
     data density, sampled across the spectrum. Returns (room, query
-    text) pairs.
+    text) pairs. Without the RFID building there is a single room, so
+    the list collapses to one query.
     """
+    if not HAVE_RFID:
+        text = ENTERED_ROOM_KLEENE if variable else ENTERED_ROOM_QUERY
+        return [(TARGET_ROOM, text)]
     plan, _, space = world()
     from repro.rfid import HALLWAY
 

@@ -126,7 +126,7 @@ class FixedTopK(AccessMethod):
             for j in range(n):
                 marginal = ctx.reader.marginal(start + j)
                 stats.marginals_read += 1
-                mass = marginal.mass_in(phi_sets[j])
+                mass = marginal.mass_on(phi_sets[j])
                 if mass <= 0.0:
                     pruned = True
                     break

@@ -2,7 +2,8 @@
 
 ::
 
-    python -m repro demo DB            build a demo dataset (routine traces)
+    python -m repro demo [DB]          archive synthetic routine streams and
+                                       smoke-test Alg 1 vs Alg 2
     python -m repro info DB            list streams, indexes, file sizes
     python -m repro import DB S.json   import a JSON stream and index it
     python -m repro export DB NAME out.json
@@ -42,14 +43,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    demo = sub.add_parser("demo", help="build a demo database of simulated "
-                          "routine traces")
-    demo.add_argument("db", help="database directory")
-    demo.add_argument("--people", type=int, default=2)
-    demo.add_argument("--duration", type=int, default=400)
+    demo = sub.add_parser("demo", help="build a tiny demo archive of "
+                          "synthetic streams and smoke-test the access "
+                          "methods (Alg 1 vs Alg 2)")
+    demo.add_argument("db", nargs="?", default=None,
+                      help="database directory (default: a temp dir, "
+                      "deleted afterwards)")
+    demo.add_argument("--people", type=int, default=2,
+                      help="number of streams to simulate")
+    demo.add_argument("--snippets", type=int, default=20,
+                      help="snippets per stream (30 timesteps each)")
     demo.add_argument("--seed", type=int, default=0)
     demo.add_argument("--layout", default="separated",
-                      choices=["separated", "co_clustered"])
+                      choices=["separated", "cell", "co_clustered",
+                               "packed"])
 
     info = sub.add_parser("info", help="list streams and indexes")
     info.add_argument("db")
@@ -58,8 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
     imp.add_argument("db")
     imp.add_argument("stream_json")
     imp.add_argument("--layout", default="separated",
-                     choices=["separated", "co_clustered"])
-    imp.add_argument("--mc-alpha", type=int, default=2)
+                     choices=["separated", "cell", "co_clustered",
+                              "packed"])
+    imp.add_argument("--mc-alpha", type=int, default=None,
+                     help="build the MC index with this branching factor "
+                     "(not yet implemented; leave unset)")
     imp.add_argument("--no-btp", action="store_true",
                      help="skip the BT_P (top-k) index")
 
@@ -115,29 +125,49 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_demo(args, out) -> int:
-    from .rfid import (
-        RFIDSensorModel,
-        default_deployment,
-        routine_dataset,
-        uw_building,
-    )
+    import tempfile
 
-    plan = uw_building()
-    sensors = RFIDSensorModel(plan, default_deployment(plan))
-    print(f"simulating {args.people} people x {args.duration} timesteps ...",
-          file=out)
-    streams = routine_dataset(
-        plan, sensors, num_people=args.people, duration=args.duration,
-        seed=args.seed, prune=1e-3,
-    )
-    with _engine()(args.db) as db:
-        db.register_dimension_table("LocationType", plan.dimension_table())
-        for stream in streams:
-            db.archive(stream, layout=args.layout, mc_alpha=2,
-                       join_tables=("LocationType",))
-            print(f"  archived {stream.name} ({len(stream)} timesteps)",
-                  file=out)
-    print(f"demo database ready at {args.db}", file=out)
+    from .streams import ENTERED_ROOM_QUERY, routine_stream
+
+    print(f"simulating {args.people} routine stream(s) x "
+          f"{args.snippets * 30} timesteps ...", file=out)
+    streams = [
+        routine_stream(f"person{i}", num_snippets=args.snippets,
+                       seed=args.seed + i)
+        for i in range(args.people)
+    ]
+    with tempfile.TemporaryDirectory() as scratch:
+        db_path = args.db if args.db is not None else scratch
+        with _engine()(db_path) as db:
+            for stream in streams:
+                db.archive(stream, layout=args.layout)
+                print(f"  archived {stream.name} ({len(stream)} timesteps, "
+                      f"layout={args.layout})", file=out)
+            query = db.parse(ENTERED_ROOM_QUERY)
+            print(f"query: {query.signature()}", file=out)
+            for stream in streams:
+                naive = db.query(stream.name, query, method="naive",
+                                 cold=True)
+                btree = db.query(stream.name, query, method="btree",
+                                 cold=True)
+                got = dict(naive.signal)
+                for t, p in btree.signal:
+                    if abs(got.get(t, 0.0) - p) > 1e-9:
+                        print(f"MISMATCH on {stream.name} at t={t}: "
+                              f"naive={got.get(t, 0.0):.6f} btree={p:.6f}",
+                              file=sys.stderr)
+                        return 1
+                peak_t, peak_p = max(btree.signal, key=lambda tp: tp[1],
+                                     default=(None, 0.0))
+                print(f"  {stream.name}: peak p={peak_p:.3f} at t={peak_t}",
+                      file=out)
+                print(f"    naive (Alg 1): {naive.stats.summary()}", file=out)
+                print(f"    btree (Alg 2): {btree.stats.summary()}", file=out)
+        if args.db is not None:
+            print(f"demo database ready at {args.db}", file=out)
+        else:
+            print("demo complete (temp database removed; pass a DB path "
+                  "to keep it)", file=out)
     return 0
 
 
@@ -274,8 +304,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             print(
                 f"error: {args.command!r} needs the {layer} layer, which "
                 "is not yet implemented in this repo (see ROADMAP.md for "
-                "the build order; storage, probability, and obs are "
-                "available today)",
+                "the build order; storage, probability, obs, streams, "
+                "query, lahar, indexes, access, and core are available "
+                "today — rfid and the MC index are still to come)",
                 file=sys.stderr,
             )
             return 2

@@ -10,7 +10,7 @@ Typical use::
 
     with Caldera("/data/caldera") as db:
         db.register_dimension_table("LocationType", plan.dimension_table())
-        db.archive(stream, layout="separated", mc_alpha=2,
+        db.archive(stream, layout="separated", mc_alpha=None,
                    join_tables=("LocationType",))
         q = db.parse("location=H1 -> location=O300")
         result = db.query(stream.name, q)            # planner picks Alg 2
@@ -98,7 +98,7 @@ class Caldera:
         layout: Union[Layout, str] = Layout.SEPARATED,
         btc: bool = True,
         btp: bool = True,
-        mc_alpha: Optional[int] = 2,
+        mc_alpha: Optional[int] = None,
         join_tables: Sequence[str] = (),
         conditioned_predicates: Sequence[Predicate] = (),
     ) -> StreamMeta:

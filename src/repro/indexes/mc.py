@@ -1,0 +1,75 @@
+"""The Markov-chain (MC) index — interface stub (§4.2.2).
+
+The MC index stores CPTs composed across power-of-``alpha`` spans so a
+gap of ``g`` timesteps costs O(log_alpha g) lookups instead of ``g``
+CPT reads. This module currently ships only the interface: the stats
+dataclass :class:`MCLookupStats` (wired through
+:class:`repro.access.base.AccessStats`) and an :class:`MCIndex` whose
+build/compute methods raise until the MC PR lands. The variable-length
+access method (:mod:`repro.access.variable_mc`) therefore cannot run
+yet; the engine defaults to ``mc_alpha=None`` and the fixed-length
+methods are fully functional without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+
+@dataclass
+class MCLookupStats:
+    """Counters for MC-index traversal during one query."""
+
+    #: Stored span-CPT records fetched from the index.
+    lookups: int = 0
+    #: CPT compositions performed to cover a gap.
+    compositions: int = 0
+    #: Raw per-timestep CPTs read because no span record covered them.
+    base_cpts_read: int = 0
+
+    def merge(self, other: "MCLookupStats") -> None:
+        self.lookups += other.lookups
+        self.compositions += other.compositions
+        self.base_cpts_read += other.base_cpts_read
+
+
+class MCIndex:
+    """Placeholder for the MC index. Construction (so catalogs and
+    engines can reference it) works; building or querying raises."""
+
+    def __init__(self, tree, alpha: int, length: int,
+                 accept_states: Optional[FrozenSet[int]] = None) -> None:
+        if alpha < 2:
+            raise ValueError(f"MC index alpha must be >= 2, got {alpha}")
+        self.tree = tree
+        self.alpha = alpha
+        self.length = length
+        #: For conditioned variants: the loop predicate's matching states.
+        self.accept_states = accept_states
+
+    @property
+    def is_conditioned(self) -> bool:
+        return self.accept_states is not None
+
+    def _unimplemented(self) -> "NotImplementedError":
+        return NotImplementedError(
+            "the MC index is not implemented yet; run the engine with "
+            "mc_alpha=None (gaps fall back to per-timestep CPT reads)"
+        )
+
+    def build(self, reader) -> None:
+        raise self._unimplemented()
+
+    def compute_cpt(self, start: int, end: int, reader, *,
+                    min_level: int = 1,
+                    stats: Optional[MCLookupStats] = None):
+        """Compose the CPT spanning ``start -> end`` from index records."""
+        raise self._unimplemented()
+
+    def compute_conditioned_cpt(self, start: int, end: int, reader, *,
+                                min_level: int = 1,
+                                stats: Optional[MCLookupStats] = None):
+        """Like :meth:`compute_cpt`, but every interior timestep is
+        conditioned on the accept-state predicate holding."""
+        raise self._unimplemented()

@@ -1,0 +1,87 @@
+"""Streaming (online) query evaluation over a live Markovian stream.
+
+The archive-side access methods (:mod:`repro.access`) answer queries
+over history; :class:`StreamingQuery` is the other half of Lahar's
+story — queries registered *before* the data arrives, evaluated
+incrementally as each timestep's CPT is appended. Each registered
+query keeps one :class:`~repro.lahar.reg.Reg` instance warm; an
+:class:`Alert` fires whenever a query's match probability at the
+just-consumed timestep reaches its threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..probability import CPT, SparseDistribution
+from ..query.regular import RegularQuery
+from ..streams.schema import StateSpace
+from .reg import Reg
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One threshold crossing: query ``name`` matched at timestep
+    ``time`` with the given probability."""
+
+    name: str
+    time: int
+    probability: float
+
+
+class _Registration:
+    def __init__(self, query: RegularQuery, threshold: float,
+                 name: str, space: StateSpace) -> None:
+        self.query = query
+        self.threshold = threshold
+        self.name = name
+        self.reg = Reg(query, space)
+
+
+class StreamingQuery:
+    """A set of standing Regular queries over one incoming stream."""
+
+    def __init__(self, space: StateSpace) -> None:
+        self.space = space
+        self._registrations: List[_Registration] = []
+        self._time: Optional[int] = None
+
+    @property
+    def time(self) -> Optional[int]:
+        """The last consumed timestep, or None before :meth:`start`."""
+        return self._time
+
+    def register(self, query: RegularQuery, threshold: float = 0.0,
+                 name: Optional[str] = None) -> None:
+        """Add a standing query; must be called before :meth:`start`."""
+        if self._time is not None:
+            raise RuntimeError(
+                "register() must be called before the stream starts"
+            )
+        self._registrations.append(
+            _Registration(query, threshold,
+                          name if name is not None else query.name,
+                          self.space)
+        )
+
+    def _alerts(self, probs: List[float]) -> Iterator[Alert]:
+        for registration, p in zip(self._registrations, probs):
+            if p >= registration.threshold:
+                yield Alert(registration.name, self._time, p)
+
+    def start(self, marginal: SparseDistribution) -> Iterator[Alert]:
+        """Consume the stream's first timestep (its marginal)."""
+        self._time = 0
+        return self._alerts([
+            r.reg.initialize(marginal) for r in self._registrations
+        ])
+
+    def advance(self, cpt: CPT) -> Iterator[Alert]:
+        """Consume the next timestep via its incoming CPT."""
+        if self._time is None:
+            raise RuntimeError("advance() before start()")
+        self._time += 1
+        return self._alerts([
+            r.reg.update(cpt) for r in self._registrations
+        ])

@@ -68,8 +68,23 @@ class SparseDistribution:
     def items(self) -> Iterable[Tuple[int, float]]:
         return self._probs.items()
 
+    def values(self) -> Iterable[float]:
+        return self._probs.values()
+
     def support(self) -> FrozenSet[int]:
         return frozenset(self._probs)
+
+    def as_arrays(self):
+        """``(state_ids, weights)`` as parallel NumPy arrays — the
+        C-speed export the vectorized Reg kernel densifies rows with.
+        Both arrays follow the dict's (stable) iteration order."""
+        import numpy as np
+
+        n = len(self._probs)
+        return (
+            np.fromiter(self._probs.keys(), dtype=np.int64, count=n),
+            np.fromiter(self._probs.values(), dtype=np.float64, count=n),
+        )
 
     def __contains__(self, state: int) -> bool:
         return state in self._probs

@@ -1,0 +1,25 @@
+"""Regular event queries: predicates, query structure, parsing (§3)."""
+
+from .predicates import (
+    DimensionEquals,
+    Equals,
+    IndexTerm,
+    InSet,
+    Not,
+    Predicate,
+    TruePredicate,
+)
+from .regular import Link, RegularQuery, parse_query
+
+__all__ = [
+    "DimensionEquals",
+    "Equals",
+    "IndexTerm",
+    "InSet",
+    "Link",
+    "Not",
+    "Predicate",
+    "RegularQuery",
+    "TruePredicate",
+    "parse_query",
+]

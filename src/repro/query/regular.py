@@ -1,0 +1,194 @@
+"""Regular queries and their linear-NFA structure (§3).
+
+A Regular query is a sequence of *links*; each link has a predicate
+that one timestep must satisfy, optionally preceded by a Kleene loop
+(``(φ)*`` — zero or more loop timesteps before the link's own). The
+corresponding NFA is *linear*: states ``0 .. n`` for ``n`` links, state
+``q`` meaning "the first ``q`` links have matched", with
+
+* a self-loop on state 0 under ``true`` (a match may start anywhere),
+* an edge ``q -> q+1`` under link ``q``'s predicate,
+* a self-loop on state ``q`` under link ``q``'s Kleene-loop predicate
+  (when present), and
+* accept state ``n`` with no outgoing edges: acceptance at timestep
+  ``t`` means "a match *ends* at ``t``" — the per-timestep event
+  probability signal Reg computes.
+
+Query text grammar (whitespace-separated, links joined by ``->``)::
+
+    location=D -> location=R
+    location=D -> (!location=R)* location=R
+    dim(location,LocationType)=Hallway -> location in {O300,O301}
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from ..errors import QueryError
+from ..streams.schema import StateSpace
+from .predicates import DimensionEquals, Equals, InSet, Not, Predicate
+
+
+class Link:
+    """One query link: a predicate, optionally preceded by a Kleene
+    loop over another predicate."""
+
+    def __init__(self, predicate: Predicate,
+                 loop: Optional[Predicate] = None) -> None:
+        self.predicate = predicate
+        self.loop = loop
+
+    @property
+    def has_loop(self) -> bool:
+        return self.loop is not None
+
+    @property
+    def has_positive_loop(self) -> bool:
+        """A loop over a positive (indexable) predicate — the kind the
+        conditioned MC index accelerates (§3.3.2)."""
+        return self.loop is not None and not isinstance(self.loop, Not)
+
+    def signature(self) -> str:
+        if self.loop is None:
+            return self.predicate.signature()
+        return f"({self.loop.signature()})* {self.predicate.signature()}"
+
+    def __repr__(self) -> str:
+        return f"Link({self.signature()!r})"
+
+
+class RegularQuery:
+    """A parsed Regular query: an ordered list of links."""
+
+    def __init__(self, links: Sequence[Link],
+                 name: Optional[str] = None) -> None:
+        self.links: List[Link] = list(links)
+        if not self.links:
+            raise QueryError("a query needs at least one link")
+        if self.links[0].has_loop:
+            # A leading loop is absorbed by the start state's implicit
+            # true self-loop (matches may begin anywhere), so it adds
+            # nothing but cost.
+            raise QueryError("the first link cannot carry a Kleene loop")
+        self.name = name if name is not None else self.signature()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.links)
+
+    def signature(self) -> str:
+        return " -> ".join(link.signature() for link in self.links)
+
+    def predicates(self) -> List[Predicate]:
+        """The per-link predicates, in order."""
+        return [link.predicate for link in self.links]
+
+    @property
+    def is_fixed_length(self) -> bool:
+        """No Kleene loops: every match spans exactly ``len(self)``
+        consecutive timesteps."""
+        return all(not link.has_loop for link in self.links)
+
+    @property
+    def has_positive_loops(self) -> bool:
+        return any(link.has_positive_loop for link in self.links)
+
+    def indexable_predicates(self) -> List[Predicate]:
+        """Every distinct indexable predicate the query mentions — link
+        predicates plus positive loop predicates (a negated loop's
+        timesteps need no index support: any timestep qualifies unless
+        the *base* predicate holds, and skipping is still sound because
+        irrelevant gap timesteps satisfy the negation trivially)."""
+        out: List[Predicate] = []
+        seen: set = set()
+        for link in self.links:
+            candidates = [link.predicate]
+            if link.has_positive_loop:
+                candidates.append(link.loop)
+            for predicate in candidates:
+                if predicate.indexable and \
+                        predicate.signature() not in seen:
+                    seen.add(predicate.signature())
+                    out.append(predicate)
+        return out
+
+    def relevant_state_sets(self, space: StateSpace) -> List[FrozenSet[int]]:
+        """Matching-state sets of the indexable predicates (the state
+        mass that makes a timestep *relevant*, §4.1.2)."""
+        return [p.matching_states(space)
+                for p in self.indexable_predicates()]
+
+    def __repr__(self) -> str:
+        return f"RegularQuery({self.signature()!r})"
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+_DIM_RE = re.compile(
+    r"^dim\(\s*(?P<attr>[\w.]+)\s*,\s*(?P<table>[\w.]+)\s*\)"
+    r"\s*=\s*(?P<value>\S+)$"
+)
+_EQ_RE = re.compile(r"^(?P<attr>[\w.]+)\s*=\s*(?P<value>\S+)$")
+_IN_RE = re.compile(
+    r"^(?P<attr>[\w.]+)\s+in\s+\{(?P<values>[^{}]*)\}$"
+)
+_LOOP_RE = re.compile(r"^\(\s*(?P<body>.+?)\s*\)\s*\*\s*(?P<rest>.+)$")
+
+
+def _parse_atom(text: str,
+                dimensions: Optional[Dict[str, Dict]]) -> Predicate:
+    text = text.strip()
+    negated = text.startswith("!")
+    if negated:
+        text = text[1:].strip()
+    match = _DIM_RE.match(text)
+    if match:
+        table = match.group("table")
+        mapping = (dimensions or {}).get(table)
+        if mapping is None:
+            raise QueryError(
+                f"unknown dimension table {table!r} in predicate {text!r}"
+            )
+        predicate: Predicate = DimensionEquals(
+            match.group("attr"), table, match.group("value"), mapping
+        )
+    elif (match := _IN_RE.match(text)) is not None:
+        values = [v.strip() for v in match.group("values").split(",")
+                  if v.strip()]
+        predicate = InSet(match.group("attr"), values)
+    elif (match := _EQ_RE.match(text)) is not None:
+        predicate = Equals(match.group("attr"), match.group("value"))
+    else:
+        raise QueryError(f"cannot parse predicate {text!r}")
+    return Not(predicate) if negated else predicate
+
+
+def _parse_link(text: str,
+                dimensions: Optional[Dict[str, Dict]]) -> Link:
+    text = text.strip()
+    if not text:
+        raise QueryError("empty link in query")
+    loop: Optional[Predicate] = None
+    match = _LOOP_RE.match(text)
+    if match:
+        loop = _parse_atom(match.group("body"), dimensions)
+        text = match.group("rest")
+    return Link(_parse_atom(text, dimensions), loop)
+
+
+def parse_query(
+    text: str,
+    dimensions: Optional[Dict[str, Dict]] = None,
+    name: Optional[str] = None,
+) -> RegularQuery:
+    """Parse query text into a :class:`RegularQuery`.
+
+    ``dimensions`` supplies dimension-table contents for ``dim(...)``
+    predicates (the engine passes its catalog's tables).
+    """
+    parts = [p for p in text.split("->")]
+    links = [_parse_link(part, dimensions) for part in parts]
+    return RegularQuery(links, name=name if name is not None else text.strip())

@@ -1,0 +1,178 @@
+"""Stream schemas: the discrete state space of a Markovian stream.
+
+A Markovian stream's per-timestep random variable ranges over a finite
+set of *states*; each state assigns one value to each stream attribute
+(§2: the RFID streams have a single ``location`` attribute, but the
+model — and the secondary indexes — are defined over arbitrary
+attribute tuples). The :class:`StateSpace` fixes the enumeration: state
+ids are dense integers ``0..n-1``, which is what the probability layer
+(:class:`~repro.probability.SparseDistribution`, sparse CPTs) and the
+order-preserving index keys are built on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..errors import StreamError
+
+
+class Vocabulary:
+    """The ordered set of values one attribute takes, with dense integer
+    codes (the ``value_code`` component of BT_C / BT_P search keys).
+
+    Codes follow sorted value order (by ``str``), so they are stable
+    across sessions for a given value set.
+    """
+
+    def __init__(self, values: Iterable) -> None:
+        self._values: List = sorted(set(values), key=str)
+        self._codes: Dict[object, int] = {
+            v: i for i, v in enumerate(self._values)
+        }
+
+    def values(self) -> List:
+        return list(self._values)
+
+    def code(self, value) -> int:
+        try:
+            return self._codes[value]
+        except KeyError:
+            raise StreamError(f"value {value!r} not in vocabulary") from None
+
+    def __contains__(self, value) -> bool:
+        return value in self._codes
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"Vocabulary({self._values!r})"
+
+
+class StateSpace:
+    """A fixed enumeration of the joint states of a stream's attributes.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute names, e.g. ``("location",)`` or
+        ``("location", "activity")``.
+    states:
+        One value tuple per state (arity must match ``attributes``);
+        the tuple's position is the state id.
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        states: Sequence[Tuple],
+    ) -> None:
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        if not self.attributes:
+            raise StreamError("a state space needs at least one attribute")
+        normalized: List[Tuple] = []
+        for values in states:
+            tup = tuple(values) if isinstance(values, (tuple, list)) \
+                else (values,)
+            if len(tup) != len(self.attributes):
+                raise StreamError(
+                    f"state {values!r} has arity {len(tup)}, expected "
+                    f"{len(self.attributes)}"
+                )
+            normalized.append(tup)
+        if len(set(normalized)) != len(normalized):
+            raise StreamError("duplicate states in state space")
+        if not normalized:
+            raise StreamError("a state space needs at least one state")
+        self._states: List[Tuple] = normalized
+        self._ids: Dict[Tuple, int] = {s: i for i, s in enumerate(normalized)}
+        self._vocabularies: Dict[str, Vocabulary] = {}
+        self._by_value: Dict[Tuple[str, object], FrozenSet[int]] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, StateSpace)
+            and self.attributes == other.attributes
+            and self._states == other._states
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.attributes, tuple(self._states)))
+
+    def state_id(self, values) -> int:
+        """The id of one state, given its value tuple (or, for a
+        single-attribute space, the bare value)."""
+        tup = tuple(values) if isinstance(values, (tuple, list)) else (values,)
+        try:
+            return self._ids[tup]
+        except KeyError:
+            raise StreamError(f"no such state: {values!r}") from None
+
+    def state_values(self, state_id: int) -> Tuple:
+        try:
+            return self._states[state_id]
+        except IndexError:
+            raise StreamError(f"state id {state_id} out of range") from None
+
+    def states(self) -> List[Tuple]:
+        return list(self._states)
+
+    def _attr_pos(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise StreamError(f"no such attribute: {attribute!r}") from None
+
+    def attribute_value(self, state_id: int, attribute: str):
+        """One attribute's value in one state."""
+        return self.state_values(state_id)[self._attr_pos(attribute)]
+
+    def vocabulary(self, attribute: str) -> Vocabulary:
+        """All values ``attribute`` takes across the space (cached)."""
+        vocab = self._vocabularies.get(attribute)
+        if vocab is None:
+            pos = self._attr_pos(attribute)
+            vocab = Vocabulary(s[pos] for s in self._states)
+            self._vocabularies[attribute] = vocab
+        return vocab
+
+    def states_with_value(self, attribute: str, value) -> FrozenSet[int]:
+        """The state ids where ``attribute == value`` (cached; empty
+        frozenset for values outside the vocabulary)."""
+        key = (attribute, value)
+        cached = self._by_value.get(key)
+        if cached is None:
+            pos = self._attr_pos(attribute)
+            cached = frozenset(
+                i for i, s in enumerate(self._states) if s[pos] == value
+            )
+            self._by_value[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "attributes": list(self.attributes),
+            "states": [list(s) for s in self._states],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "StateSpace":
+        return cls(data["attributes"], [tuple(s) for s in data["states"]])
+
+    def __repr__(self) -> str:
+        return (
+            f"StateSpace(attributes={self.attributes!r}, "
+            f"states={len(self._states)})"
+        )
+
+
+def single_attribute_space(attribute: str, values: Sequence) -> StateSpace:
+    """The common case: one attribute, one state per value, state ids in
+    the order given (the RFID streams' ``location`` space)."""
+    return StateSpace((attribute,), [(v,) for v in values])

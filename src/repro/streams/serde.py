@@ -1,0 +1,67 @@
+"""JSON interchange for Markovian streams (``repro import``/``export``).
+
+The format is self-describing — name, state space, marginals, CPTs —
+with probabilities as plain floats and sparse structures as pair lists
+(JSON objects would force string keys)."""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Union
+
+from ..probability import CPT, SparseDistribution
+from .markovian import MarkovianStream
+from .schema import StateSpace
+
+FORMAT_VERSION = 1
+
+
+def stream_to_dict(stream: MarkovianStream) -> dict:
+    return {
+        "version": FORMAT_VERSION,
+        "name": stream.name,
+        "space": stream.space.to_dict(),
+        "marginals": [
+            sorted(m.items()) for m in stream.marginals
+        ],
+        "cpts": [
+            [[src, sorted(row.items())] for src, row in sorted(c.rows())]
+            for c in stream.cpts
+        ],
+    }
+
+
+def stream_from_dict(data: dict) -> MarkovianStream:
+    space = StateSpace.from_dict(data["space"])
+    marginals = [
+        SparseDistribution({int(s): p for s, p in pairs})
+        for pairs in data["marginals"]
+    ]
+    cpts = [
+        CPT({
+            int(src): SparseDistribution({int(d): p for d, p in row})
+            for src, row in rows
+        })
+        for rows in data["cpts"]
+    ]
+    return MarkovianStream(data["name"], space, marginals, cpts,
+                           validate=False)
+
+
+def dump_stream(stream: MarkovianStream, dest: Union[str, IO]) -> None:
+    """Write a stream as JSON to a path or open text file."""
+    if isinstance(dest, str):
+        with open(dest, "w", encoding="utf-8") as fh:
+            json.dump(stream_to_dict(stream), fh)
+    else:
+        json.dump(stream_to_dict(stream), dest)
+
+
+def load_stream(source: Union[str, IO]) -> MarkovianStream:
+    """Read a stream from a JSON path or open text file."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    else:
+        data = json.load(source)
+    return stream_from_dict(data)

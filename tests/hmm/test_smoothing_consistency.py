@@ -1,0 +1,85 @@
+"""Forward-backward smoothing produces *consistent* Markovian streams:
+``C_t.apply(m_t) == m_{t+1}`` exactly — the invariant the stream layer
+validates and the archive round-trips (satellite check for the
+``repro.hmm`` -> ``repro.streams`` pipeline, Fig 1)."""
+
+import random
+
+import pytest
+
+from repro.hmm import HiddenMarkovModel, TabularEmission, smooth, viterbi
+from repro.probability import CPT, SparseDistribution
+from repro.streams import CONSISTENCY_TOL, single_attribute_space
+
+#: A 4-room corridor: 0 - 1 - 2 - 3, sticky self-transitions.
+SPACE = single_attribute_space("location", ["R0", "R1", "R2", "R3"])
+
+
+def corridor_hmm(p_stay=0.5, noise=0.15) -> HiddenMarkovModel:
+    n = 4
+    rows = {}
+    for s in range(n):
+        neighbors = [x for x in (s - 1, s + 1) if 0 <= x < n]
+        move = (1.0 - p_stay) / len(neighbors)
+        rows[s] = {s: p_stay, **{x: move for x in neighbors}}
+    emission = {
+        obs: {
+            s: (1.0 - noise) if s == obs else noise / (n - 1)
+            for s in range(n)
+        }
+        for obs in range(n)
+    }
+    return HiddenMarkovModel(
+        num_states=n,
+        initial=SparseDistribution.uniform(range(n)),
+        transition=CPT(rows),
+        emission=TabularEmission(emission),
+    )
+
+
+def observations(seed: int, length: int, gap_rate=0.3):
+    """A noisy walk with sensor gaps (None observations)."""
+    rng = random.Random(seed)
+    hmm = corridor_hmm()
+    path = hmm.simulate(length, rng)
+    obs = []
+    for s in path:
+        if rng.random() < gap_rate:
+            obs.append(None)  # missed read
+        elif rng.random() < 0.1:
+            obs.append(rng.randrange(4))  # cross-read
+        else:
+            obs.append(s)
+    return obs
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("length", [1, 5, 40])
+def test_smoothed_stream_satisfies_consistency_invariant(seed, length):
+    stream = smooth(corridor_hmm(), observations(seed, length), SPACE,
+                    name=f"walk{seed}")
+    assert len(stream) == length
+    stream.validate(tol=CONSISTENCY_TOL)  # raises on violation
+    for t in range(length):
+        assert stream.marginal(t).is_normalized(tol=1e-9)
+
+
+def test_smoothing_recovers_a_clean_trajectory():
+    """With noise-free dense observations the smoothed marginals put
+    almost all mass on the true path, and Viterbi agrees."""
+    hmm = corridor_hmm(noise=1e-6)
+    true_path = [0, 1, 1, 2, 3, 3, 2, 1]
+    stream = smooth(hmm, true_path, SPACE, name="clean")
+    for t, s in enumerate(true_path):
+        assert stream.marginal(t).prob(s) > 0.99
+    assert list(viterbi(hmm, true_path)) == true_path
+
+
+def test_smoothing_survives_conflicting_evidence():
+    """An impossible reading (teleport across the corridor) is dropped
+    rather than crashing, and the result is still consistent."""
+    hmm = corridor_hmm(noise=1e-9)
+    obs = [0, 0, 3, 0, 0]  # R3 is unreachable from R0 in one step
+    stream = smooth(hmm, obs, SPACE, name="conflict")
+    stream.validate(tol=CONSISTENCY_TOL)
+    assert stream.marginal(2).prob(3) < 0.5

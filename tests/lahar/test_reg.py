@@ -1,0 +1,168 @@
+"""Reg operator tests: the vectorized kernel is property-tested against
+the pure-Python reference on random streams and random queries, and
+both are pinned against hand-computed probabilities on a tiny stream."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lahar import QueryMachine, ReferenceReg, Reg
+from repro.probability import CPT, SparseDistribution
+from repro.query import parse_query
+from repro.streams import MarkovianStream, single_attribute_space
+
+VALUES = ["A", "B", "C", "D", "E"]
+SPACE = single_attribute_space("location", VALUES)
+
+
+def random_stream(seed: int, length: int) -> MarkovianStream:
+    rng = random.Random(seed)
+    n = len(SPACE)
+
+    def row():
+        targets = rng.sample(range(n), rng.randint(1, n))
+        weights = [rng.random() + 1e-3 for _ in targets]
+        total = sum(weights)
+        return SparseDistribution(
+            {s: w / total for s, w in zip(targets, weights)})
+
+    marginals = [row()]
+    cpts = []
+    for _ in range(length - 1):
+        cpt = CPT({x: row() for x in marginals[-1].support()})
+        cpts.append(cpt)
+        marginals.append(cpt.apply(marginals[-1]))
+    return MarkovianStream("r", SPACE, marginals, cpts)
+
+
+@st.composite
+def query_texts(draw):
+    """Random Regular queries over the 5-value space: 1-4 links, each
+    optionally preceded by a (possibly negated) Kleene loop."""
+    num_links = draw(st.integers(1, 4))
+    links = []
+    for i in range(num_links):
+        pred = f"location={draw(st.sampled_from(VALUES))}"
+        if i > 0 and draw(st.booleans()):
+            loop_value = draw(st.sampled_from(VALUES))
+            bang = "!" if draw(st.booleans()) else ""
+            pred = f"({bang}location={loop_value})* {pred}"
+        links.append(pred)
+    return " -> ".join(links)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 10_000), length=st.integers(1, 15),
+       text=query_texts())
+def test_vectorized_matches_reference(seed, length, text):
+    stream = random_stream(seed, length)
+    query = parse_query(text)
+    ref = ReferenceReg(query, SPACE)
+    vec = Reg(query, SPACE)
+    ref_probs = [ref.initialize(stream.marginal(0))]
+    vec_probs = [vec.initialize(stream.marginal(0))]
+    for t in range(1, length):
+        cpt = stream.cpt_into(t)
+        ref_probs.append(ref.update(cpt))
+        vec_probs.append(vec.update(cpt))
+    for t, (a, b) in enumerate(zip(ref_probs, vec_probs)):
+        assert a == pytest.approx(b, abs=1e-9), f"diverged at t={t}"
+    assert ref.updates_performed == vec.updates_performed == length - 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), text=query_texts(),
+       opseed=st.integers(0, 10_000))
+def test_span_operations_match_reference(seed, text, opseed):
+    """The Algorithm 4/5 entry points (gap spans, independence jumps,
+    conditioned loop spans) agree between implementations too."""
+    length = 14
+    stream = random_stream(seed, length)
+    query = parse_query(text)
+    rng = random.Random(opseed)
+    ref = ReferenceReg(query, SPACE)
+    vec = Reg(query, SPACE)
+    ref.initialize(stream.marginal(0))
+    vec.initialize(stream.marginal(0))
+    t = 1
+    while t < length - 3:
+        mode = rng.choice(["update", "span", "indep", "loopspan"])
+        if mode == "update":
+            cpt = stream.cpt_into(t)
+            a, b = ref.update(cpt), vec.update(cpt)
+            t += 1
+        elif mode == "span":
+            span = rng.randint(2, 3)
+            cpt = stream.cpt_into(t)
+            for k in range(1, span):
+                cpt = cpt.compose(stream.cpt_into(t + k))
+            a, b = ref.update_span(cpt, span), vec.update_span(cpt, span)
+            t += span
+        elif mode == "indep":
+            span = rng.randint(2, 3)
+            t += span
+            marginal = stream.marginal(t - 1)
+            a = ref.update_independent(marginal, span)
+            b = vec.update_independent(marginal, span)
+        else:
+            cpt = stream.cpt_into(t)
+            loop_state = rng.randrange(max(1, len(query)))
+            a = ref.update_loop_span(loop_state, cpt, cpt, 1)
+            b = vec.update_loop_span(loop_state, cpt, cpt, 1)
+            t += 1
+        assert a == pytest.approx(b, abs=1e-9), f"{mode} diverged at t={t}"
+    assert ref.updates_performed == vec.updates_performed
+
+
+@pytest.mark.parametrize("impl", [Reg, ReferenceReg])
+def test_two_link_probability_by_hand(impl):
+    """P(match ends at t) for A -> B equals the interval probability of
+    (x_{t-1}=A, x_t=B)."""
+    m0 = SparseDistribution({0: 0.6, 1: 0.4})  # A, B
+    c1 = CPT({0: {1: 0.5, 2: 0.5}, 1: {0: 1.0}})
+    m1 = c1.apply(m0)
+    c2 = CPT({0: {1: 1.0}, 1: {2: 1.0}, 2: {0: 1.0}})
+    m2 = c2.apply(m1)
+    stream = MarkovianStream("h", SPACE, [m0, m1, m2], [c1, c2])
+    reg = impl(parse_query("location=A -> location=B"), SPACE)
+    probs = [reg.initialize(stream.marginal(0)),
+             reg.update(stream.cpt_into(1)), reg.update(stream.cpt_into(2))]
+    assert probs[0] == 0.0  # one timestep cannot complete two links
+    assert probs[1] == pytest.approx(
+        stream.interval_probability(0, [{0}, {1}]))
+    assert probs[2] == pytest.approx(
+        stream.interval_probability(1, [{0}, {1}]))
+
+
+@pytest.mark.parametrize("impl", [Reg, ReferenceReg])
+def test_accept_expires_after_one_step(impl):
+    """Acceptance means "a match *ends* here": constant mass on B after
+    an A->B match keeps re-matching only while A-mass keeps arriving."""
+    reg = impl(parse_query("location=A -> location=B"), SPACE)
+    reg.initialize(SparseDistribution({0: 1.0}))
+    stay_b = CPT({0: {1: 1.0}, 1: {1: 1.0}})
+    assert reg.update(stay_b) == pytest.approx(1.0)  # A then B: match
+    assert reg.update(stay_b) == pytest.approx(0.0)  # B then B: no new A
+
+
+def test_query_machine_collapse_keeps_negated_loops():
+    machine = QueryMachine(
+        parse_query("location=A -> (!location=B)* location=B"), SPACE)
+    # NFA state 1 ("A seen") survives a gap only through its negated
+    # loop; everything else collapses to the bare start state.
+    assert machine.collapse(0b111) == 0b011
+    assert machine.collapse(0b100) == 0b001
+    machine_plain = QueryMachine(
+        parse_query("location=A -> location=B"), SPACE)
+    assert machine_plain.collapse(0b111) == 0b001
+
+
+def test_empty_reg_stays_empty():
+    reg = Reg(parse_query("location=A -> location=B"), SPACE)
+    # No initialize: updates on an empty kernel emit zero probability.
+    assert reg.update(CPT({0: {0: 1.0}})) == 0.0
+    assert reg.update_independent(SparseDistribution({0: 1.0})) == 0.0
+    assert reg.update_loop_span(1, CPT({0: {0: 1.0}}),
+                                CPT({0: {0: 1.0}})) == 0.0

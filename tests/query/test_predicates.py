@@ -1,0 +1,97 @@
+"""Predicate semantics over a concrete state space."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.predicates import (
+    DimensionEquals,
+    Equals,
+    InSet,
+    IndexTerm,
+    Not,
+    TruePredicate,
+)
+from repro.streams import StateSpace, single_attribute_space
+
+SPACE = single_attribute_space("location", ["H1", "H2", "R1", "R2"])
+
+
+def test_equals_matching_states_and_terms():
+    pred = Equals("location", "R1")
+    assert pred.matching_states(SPACE) == \
+        SPACE.states_with_value("location", "R1")
+    assert pred.index_terms(SPACE) == [IndexTerm("location", "R1")]
+    assert pred.indexable
+
+
+def test_inset_union_and_canonical_signature():
+    pred = InSet("location", ["R2", "R1", "R2"])
+    assert pred.values == ("R1", "R2")
+    assert pred.matching_states(SPACE) == frozenset(
+        SPACE.states_with_value("location", "R1")
+        | SPACE.states_with_value("location", "R2")
+    )
+    assert len(pred.index_terms(SPACE)) == 2
+    with pytest.raises(QueryError):
+        InSet("location", [])
+
+
+def test_not_is_complement_and_unindexable():
+    base = Equals("location", "R1")
+    pred = Not(base)
+    assert pred.matching_states(SPACE) == \
+        frozenset(range(len(SPACE))) - base.matching_states(SPACE)
+    assert not pred.indexable
+    with pytest.raises(QueryError):
+        pred.index_terms(SPACE)
+    assert pred.signature() == "!location=R1"
+
+
+def test_true_predicate_matches_everything():
+    pred = TruePredicate()
+    assert pred.matching_states(SPACE) == frozenset(range(len(SPACE)))
+    assert not pred.indexable
+    with pytest.raises(QueryError):
+        pred.index_terms(SPACE)
+
+
+def test_dimension_predicate_fallback_terms():
+    mapping = {"H1": "Hallway", "H2": "Hallway", "R1": "Office",
+               "X9": "Hallway"}
+    pred = DimensionEquals("location", "LocationType", "Hallway", mapping)
+    assert pred.matching_states(SPACE) == (
+        SPACE.states_with_value("location", "H1")
+        | SPACE.states_with_value("location", "H2")
+    )
+    # The preferred term targets the join index ...
+    assert pred.index_terms(SPACE) == \
+        [IndexTerm("location/LocationType", "Hallway")]
+    # ... while the fallback expands to base values present in the
+    # vocabulary (X9 maps to Hallway but no state takes it).
+    fallback = pred.value_level_terms(SPACE)
+    assert fallback == [IndexTerm("location", "H1"),
+                        IndexTerm("location", "H2")]
+
+
+def test_dimension_predicate_without_mapping_raises():
+    pred = DimensionEquals("location", "T", "V")
+    with pytest.raises(QueryError, match="no dimension table"):
+        pred.matching_states(SPACE)
+
+
+def test_predicate_identity_is_the_signature():
+    assert Equals("location", "R1") == Equals("location", "R1")
+    assert Equals("location", "R1") != Equals("location", "R2")
+    assert len({Equals("a", "v"), Equals("a", "v"), Not(Equals("a", "v"))}) \
+        == 2
+
+
+def test_multi_attribute_space_predicates():
+    space = StateSpace(
+        ("location", "activity"),
+        [("Hall", "walk"), ("Hall", "stand"), ("Room", "stand")],
+    )
+    assert Equals("activity", "stand").matching_states(space) == \
+        frozenset({1, 2})
+    assert Equals("location", "Hall").matching_states(space) == \
+        frozenset({0, 1})

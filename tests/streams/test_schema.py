@@ -1,0 +1,65 @@
+"""StateSpace / Vocabulary unit tests."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streams import StateSpace, single_attribute_space
+from repro.streams.schema import Vocabulary
+
+
+def test_vocabulary_codes_follow_sorted_order():
+    vocab = Vocabulary(["Room", "Door", "C1", "C0"])
+    assert vocab.values() == ["C0", "C1", "Door", "Room"]
+    assert vocab.code("C0") == 0
+    assert vocab.code("Room") == 3
+    assert "Door" in vocab and "Hall" not in vocab
+    with pytest.raises(StreamError):
+        vocab.code("Hall")
+
+
+def test_single_attribute_space_ids_follow_given_order():
+    space = single_attribute_space("location", ["A", "B", "C"])
+    assert len(space) == 3
+    assert space.state_id("B") == 1
+    assert space.state_id(("C",)) == 2
+    assert space.attribute_value(0, "location") == "A"
+
+
+def test_states_with_value_and_vocabulary():
+    space = StateSpace(
+        ("location", "activity"),
+        [("Hall", "walk"), ("Hall", "stand"), ("Room", "stand")],
+    )
+    assert space.states_with_value("location", "Hall") == frozenset({0, 1})
+    assert space.states_with_value("activity", "stand") == frozenset({1, 2})
+    assert space.states_with_value("location", "Lab") == frozenset()
+    assert space.vocabulary("activity").values() == ["stand", "walk"]
+
+
+def test_space_rejects_bad_shapes():
+    with pytest.raises(StreamError):
+        StateSpace((), [("x",)])
+    with pytest.raises(StreamError):
+        StateSpace(("a",), [])
+    with pytest.raises(StreamError):
+        StateSpace(("a",), [("x",), ("x",)])  # duplicate
+    with pytest.raises(StreamError):
+        StateSpace(("a", "b"), [("x",)])  # arity mismatch
+    space = single_attribute_space("a", ["x"])
+    with pytest.raises(StreamError):
+        space.state_id("missing")
+    with pytest.raises(StreamError):
+        space.attribute_value(0, "nope")
+    with pytest.raises(StreamError):
+        space.state_values(5)
+
+
+def test_space_dict_round_trip_preserves_identity():
+    space = StateSpace(
+        ("location", "activity"),
+        [("Hall", "walk"), ("Room", "stand")],
+    )
+    clone = StateSpace.from_dict(space.to_dict())
+    assert clone == space
+    assert hash(clone) == hash(space)
+    assert clone.state_id(("Room", "stand")) == 1

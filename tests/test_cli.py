@@ -14,12 +14,33 @@ def test_help_does_not_crash(capsys):
     assert "query" in capsys.readouterr().out
 
 
-def test_missing_layer_is_a_clear_error(tmp_path, capsys):
+def test_info_on_empty_database(tmp_path, capsys):
+    # Until PR 4 the engine layers were missing and this exited 2 with a
+    # "not yet implemented" diagnostic; now the whole stack imports.
     rc = main(["info", str(tmp_path / "db")])
-    assert rc == 2
-    err = capsys.readouterr().err
-    assert "not yet implemented" in err
-    assert "repro." in err
+    assert rc == 0
+    assert "no streams archived" in capsys.readouterr().out
+
+
+def test_demo_smoke(tmp_path, capsys):
+    db = str(tmp_path / "db")
+    rc = main(["demo", db, "--people", "1", "--snippets", "4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "archived person0" in out
+    assert "naive (Alg 1)" in out
+    assert "btree (Alg 2)" in out
+    assert "MISMATCH" not in out
+    # The database was kept (a path was given) and is consistent.
+    assert main(["info", db]) == 0
+    assert "person0" in capsys.readouterr().out
+
+
+def test_demo_without_db_path_uses_temp(capsys):
+    rc = main(["demo", "--people", "1", "--snippets", "3", "--layout",
+               "packed"])
+    assert rc == 0
+    assert "temp database removed" in capsys.readouterr().out
 
 
 def test_unknown_command_is_usage_error():

@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install lint test test-fast bench bench-storage bench-streams \
-	crash-sweep fsck figures figures-full examples clean
+	bench-fig8b crash-sweep fsck figures figures-full examples clean
 
 lint:
 	ruff check src tests benchmarks examples
@@ -35,6 +35,16 @@ bench-streams:
 	PYTHONPATH=src $(PYTHON) -m repro.obs.report \
 		benchmarks/baselines/fig8a.manifest.json \
 		benchmarks/results/fig8a.manifest.json --fail-on-change
+
+# Fig 8b variable-length benchmark: MC index vs naive scan over gap
+# length and alpha. Ends by diffing the deterministic cost counters
+# (logical reads, MC lookups/pieces) against the committed baseline —
+# wall times never fail the guard.
+bench-fig8b:
+	PYTHONPATH=src $(PYTHON) -m benchmarks.bench_fig8b_variable
+	PYTHONPATH=src $(PYTHON) -m repro.obs.report \
+		benchmarks/baselines/fig8b.manifest.json \
+		benchmarks/results/fig8b.manifest.json --fail-on-change
 
 # Deterministic crash-point sweep: every single-fault schedule must
 # recover to a committed state with a clean fsck. Bounded (~30s);

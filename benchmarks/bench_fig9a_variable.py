@@ -24,7 +24,7 @@ METHODS = ("naive", "mc", "semi")
 
 def _db(density):
     return synthetic_db(density=density, match_rate=1.0,
-                        layouts=(Layout.SEPARATED,))
+                        layouts=(Layout.SEPARATED,), mc_alpha=2)
 
 
 def generate():

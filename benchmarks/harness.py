@@ -111,6 +111,8 @@ def measure(db, stream_name: str, query, method: str, label: str,
             "marginals_read": first.stats.marginals_read,
             "cpts_read": first.stats.cpts_read,
             "signal_points": len(first.signal),
+            "mc_lookups": first.stats.mc_lookups.lookups,
+            "mc_base_cpts": first.stats.mc_lookups.base_cpts_read,
         },
     )
 

@@ -11,6 +11,19 @@ No accuracy guarantees: ignoring correlations can inflate probabilities
 substantially (§2.1's walking-through-walls example), and on some
 streams the method misidentifies the maximum-probability timestep
 (§4.3.2). Its appeal is speed: no MC index to store or query.
+
+Documented approximation bound (what *is* guaranteed, and what
+``tests/access/test_differential.py`` checks):
+
+1. the emitted support is exactly the relevant-event set — the same
+   timesteps the exact MC method emits;
+2. every emitted value is a valid probability in ``[0, 1]`` (up to
+   float round-off);
+3. the signal is *exact* on any prefix of the event list in which
+   consecutive relevant timesteps are adjacent — the independence
+   approximation is applied only when crossing a gap of two or more
+   timesteps, so until the first such gap the method reduces to the
+   naive evaluation restricted to relevant timesteps.
 """
 
 from __future__ import annotations

@@ -264,7 +264,8 @@ class Caldera:
         """The planner's decision for a query, without executing it."""
         ctx = self.context(stream_name, query)
         return plan(ctx, k=k, threshold=threshold, approximate=approximate,
-                    use_conditioned=use_conditioned)
+                    use_conditioned=use_conditioned,
+                    registry=self.env.metrics, tracer=self.env.tracer())
 
     def query(
         self,
@@ -305,7 +306,9 @@ class Caldera:
         if method == "auto":
             decision = plan(ctx, k=k, threshold=threshold,
                             approximate=approximate,
-                            use_conditioned=use_conditioned)
+                            use_conditioned=use_conditioned,
+                            registry=self.env.metrics,
+                            tracer=self.env.tracer())
             access = decision.method
         else:
             access = method_by_name(name=method, k=k, threshold=threshold,

@@ -51,10 +51,31 @@ def plan(
     threshold: Optional[float] = None,
     approximate: bool = False,
     use_conditioned: bool = False,
+    registry=None,
+    tracer=None,
 ) -> PlanDecision:
-    """Choose an access method for the context (Fig 5b)."""
+    """Choose an access method for the context (Fig 5b).
+
+    A naive-scan fallback is legal but expensive, so it is never
+    silent: every fallback decision bumps the
+    ``planner.fallbacks{reason=...}`` counter on ``registry`` and emits
+    a ``planner.fallback`` warning span on ``tracer`` (the engine
+    passes its environment's registry and tracer).
+    """
     query = ctx.query
     wants_topk = k is not None or threshold is not None
+
+    def fallback(method: AccessMethod, reason_label: str,
+                 reason_text: str) -> PlanDecision:
+        if registry is not None:
+            registry.counter("planner.fallbacks",
+                             reason=reason_label).inc()
+        if tracer is not None:
+            with tracer.span("planner.fallback", level="warning",
+                             reason=reason_label, query=query.name,
+                             method=method.name):
+                pass
+        return PlanDecision(method, reason_text)
 
     if query.is_fixed_length:
         predicates = query.predicates()
@@ -70,7 +91,8 @@ def plan(
             if wants_topk:
                 reason += " (no BT_P: B+Tree then sort)"
             return PlanDecision(FixedBTree(), reason)
-        return PlanDecision(NaiveScan(), "no usable index: full scan")
+        return fallback(NaiveScan(), "no_btc_coverage",
+                        "no usable index: full scan")
 
     # Variable-length.
     covered = True
@@ -85,13 +107,18 @@ def plan(
             "variable-length query with full BT_C coverage and MC index",
         )
     if covered and approximate:
-        return PlanDecision(
-            SemiIndependent(),
+        return fallback(
+            SemiIndependent(), "no_mc_index",
             "variable-length query without MC index: approximate "
             "semi-independent method",
         )
-    return PlanDecision(
-        NaiveScan(),
+    if covered:
+        return fallback(
+            NaiveScan(), "no_mc_index",
+            "variable-length query without MC index: full scan",
+        )
+    return fallback(
+        NaiveScan(), "no_btc_coverage",
         "variable-length query without full index coverage: full scan "
         "(§3.4.1)",
     )

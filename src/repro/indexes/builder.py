@@ -96,7 +96,13 @@ def build_mc(
     predicate: Optional[Predicate] = None,
     space: Optional[StateSpace] = None,
 ) -> MCIndex:
-    """Build the MC index (or a predicate-conditioned variant)."""
+    """Build the MC index (or a predicate-conditioned variant).
+
+    The build runs under an ``mc.build`` span on the environment's
+    tracer (wall time + page-write delta land in the environment
+    registry), and the index's ``mc.*`` counters are bound to the same
+    registry.
+    """
     signature = predicate.signature() if predicate is not None else None
     name = mc_tree_name(stream_name, signature)
     if env.exists(name):
@@ -106,8 +112,11 @@ def build_mc(
         if space is None:
             raise CatalogError("conditioned MC index needs the state space")
         accept = predicate.matching_states(space)
-    index = MCIndex(env.open_tree(name), alpha, reader.length, accept_states=accept)
-    index.build(reader)
+    index = MCIndex(env.open_tree(name), alpha, reader.length,
+                    accept_states=accept, registry=env.metrics)
+    with env.tracer().span("mc.build", tree=name, alpha=alpha,
+                           conditioned=predicate is not None):
+        index.build(reader)
     return index
 
 
@@ -119,7 +128,8 @@ def open_mc(
     predicate: Optional[Predicate] = None,
     space: Optional[StateSpace] = None,
 ) -> MCIndex:
-    """Open an existing MC index."""
+    """Open an existing MC index (its stored metadata, when present,
+    must agree with the requested alpha/length/conditioning)."""
     signature = predicate.signature() if predicate is not None else None
     name = mc_tree_name(stream_name, signature)
     accept = None
@@ -127,6 +137,7 @@ def open_mc(
         if space is None:
             raise CatalogError("conditioned MC index needs the state space")
         accept = predicate.matching_states(space)
-    return MCIndex(
-        env.open_tree(name, create=False), alpha, length, accept_states=accept
-    )
+    index = MCIndex(env.open_tree(name, create=False), alpha, length,
+                    accept_states=accept, registry=env.metrics)
+    index.verify_meta()
+    return index

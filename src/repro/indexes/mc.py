@@ -1,20 +1,75 @@
-"""The Markov-chain (MC) index — interface stub (§4.2.2).
+"""The Markov-chain (MC) index (§4.2.2, Algorithm 4).
 
-The MC index stores CPTs composed across power-of-``alpha`` spans so a
-gap of ``g`` timesteps costs O(log_alpha g) lookups instead of ``g``
-CPT reads. This module currently ships only the interface: the stats
-dataclass :class:`MCLookupStats` (wired through
-:class:`repro.access.base.AccessStats`) and an :class:`MCIndex` whose
-build/compute methods raise until the MC PR lands. The variable-length
-access method (:mod:`repro.access.variable_mc`) therefore cannot run
-yet; the engine defaults to ``mc_alpha=None`` and the fixed-length
-methods are fully functional without it.
+The MC index precomputes chain-rule CPT products across power-of-alpha
+spans so that a gap of ``g`` irrelevant timesteps costs
+``O(log_alpha g)`` keyed lookups instead of ``g`` sequential CPT reads
+— the piece that makes variable-length (Kleene) queries viable at
+archive scale.
+
+Record layout
+-------------
+One B+ tree per index, bulk-loaded bottom-up through the storage
+engine. A record at key ``encode_key((level, start))`` stores the
+composed CPT spanning ``start -> start + alpha**level``; records exist
+for every level ``1 .. max_level`` at starts aligned to the level's
+span (``start % alpha**level == 0``) whose span fits inside the stream
+(``start + alpha**level <= length - 1``). ``max_level`` is the largest
+level with at least one full span, so total storage is the geometric
+series ``sum_l (L - 1) / alpha**l  <  (L - 1) / (alpha - 1)`` records.
+A metadata record under the reserved key ``encode_key((-1,))`` (sorts
+before every data key) makes the index self-describing: alpha, stream
+length, level count, and the conditioning accept set.
+
+Gap traversal
+-------------
+:meth:`MCIndex.compute_cpt` covers an arbitrary ``[start, end)`` span
+by greedy descent: at each position it takes the *largest* stored span
+that is aligned at the position and still fits before ``end``, falling
+back to a raw per-timestep CPT read from the archive when only levels
+below ``min_level`` would fit (``min_level`` reproduces Fig 11(a)'s
+level-omission experiment; raw level-0 steps always remain available).
+Both sides of the canonical decomposition use at most ``alpha - 1``
+pieces per level, so the piece count is bounded by
+``2 * (alpha - 1) * ceil(log_alpha g)`` and grows logarithmically in
+the gap; ``tests/indexes/test_mc_costs.py`` pins the exact constants.
+
+Conditioned variant (§3.3.2)
+----------------------------
+A conditioned MC index is built for one positive Kleene-loop
+predicate: every base CPT is first masked to destinations inside the
+predicate's accept set (``CPT.mask_destinations``), then composed.
+Masking commutes with composition — masking the destination of one
+piece masks the interior state of the concatenation — so span records
+store the fully-masked product and arbitrary spans compose exactly.
+:meth:`MCIndex.compute_conditioned_cpt` assembles the CPT that crosses
+one maximal Kleene run ``start -> end``: masked records over the run's
+*interior* (``start+1 .. end-1``) plus the raw, unmasked final step
+into ``end`` — the boundary timestep is a real query event whose
+symbol the Reg operator classifies (loop continues, link advances, or
+match dies), so it must not be conditioned away. The result is
+deliberately *sub*-stochastic: row mass is the probability of
+satisfying the predicate at every interior timestep, and the lost mass
+is exactly the probability of leaving the loop — what
+:meth:`repro.lahar.reg.Reg.update_loop_span` needs to split kept and
+exited mass in one update. Renormalizing the rows
+(``normalize=True``) yields §3.3.2's conditional distribution
+``P(x_end | x_start, predicate held throughout the interior)`` when
+that form is wanted.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import FrozenSet, Optional
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..errors import CatalogError, StreamError
+from ..obs.metrics import NullRegistry
+from ..probability import CPT
+from ..storage import encode_key
+
+#: Reserved metadata key — level -1 sorts before every (level, start).
+META_KEY = encode_key((-1,))
 
 
 @dataclass
@@ -33,43 +88,247 @@ class MCLookupStats:
         self.compositions += other.compositions
         self.base_cpts_read += other.base_cpts_read
 
+    @property
+    def pieces(self) -> int:
+        """Total pieces composed to cover the gaps (index + raw)."""
+        return self.lookups + self.base_cpts_read
+
+
+def max_level_for(alpha: int, length: int) -> int:
+    """The highest level with at least one full span: the largest
+    ``l >= 1`` with ``alpha**l <= length - 1`` (0 when even the level-1
+    span does not fit)."""
+    level = 0
+    span = alpha
+    while span <= length - 1:
+        level += 1
+        span *= alpha
+    return level
+
 
 class MCIndex:
-    """Placeholder for the MC index. Construction (so catalogs and
-    engines can reference it) works; building or querying raises."""
+    """The MC index over one archived stream (plain or conditioned)."""
 
     def __init__(self, tree, alpha: int, length: int,
-                 accept_states: Optional[FrozenSet[int]] = None) -> None:
+                 accept_states: Optional[FrozenSet[int]] = None,
+                 registry=None) -> None:
         if alpha < 2:
             raise ValueError(f"MC index alpha must be >= 2, got {alpha}")
         self.tree = tree
         self.alpha = alpha
         self.length = length
         #: For conditioned variants: the loop predicate's matching states.
-        self.accept_states = accept_states
+        self.accept_states = (
+            None if accept_states is None else frozenset(accept_states)
+        )
+        self.max_level = max_level_for(alpha, length)
+        self._registry = registry if registry is not None else NullRegistry()
+        labels = {"tree": getattr(tree, "name", "mc")}
+        self._c_lookups = self._registry.counter("mc.lookups", **labels)
+        self._c_base = self._registry.counter("mc.base_cpts", **labels)
+        self._c_compose = self._registry.counter("mc.compositions", **labels)
+        self._c_records = self._registry.counter("mc.records_built", **labels)
 
     @property
     def is_conditioned(self) -> bool:
         return self.accept_states is not None
 
-    def _unimplemented(self) -> "NotImplementedError":
-        return NotImplementedError(
-            "the MC index is not implemented yet; run the engine with "
-            "mc_alpha=None (gaps fall back to per-timestep CPT reads)"
-        )
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build(self, reader) -> int:
+        """Bulk-load every span record from the archived stream.
 
-    def build(self, reader) -> None:
-        raise self._unimplemented()
+        Level 1 is composed in one streaming pass over the base CPTs;
+        each higher level composes ``alpha`` records of the level below
+        (never re-reading the archive). Returns the number of span
+        records written.
+        """
+        if reader.length != self.length:
+            raise CatalogError(
+                f"MC index built for length {self.length} over a reader "
+                f"of length {reader.length}"
+            )
+        accept = self.accept_states
+        items: List[Tuple[bytes, bytes]] = [(META_KEY, self._meta_value())]
+        records = 0
 
+        # Level 1: stream the base CPTs, emit one record per alpha steps.
+        span = self.alpha
+        level_cpts: Dict[int, CPT] = {}
+        if self.max_level >= 1:
+            acc: Optional[CPT] = None
+            start = 0
+            for t, cpt in reader.scan_cpts():
+                if accept is not None:
+                    cpt = cpt.mask_destinations(accept)
+                acc = cpt if acc is None else acc.compose(cpt)
+                if t == start + span:
+                    level_cpts[start] = acc
+                    acc = None
+                    start = t
+            for s in sorted(level_cpts):
+                items.append((encode_key((1, s)), level_cpts[s].to_bytes()))
+            records += len(level_cpts)
+
+        # Levels 2 .. max_level: compose alpha spans of the level below.
+        for level in range(2, self.max_level + 1):
+            below = span
+            span *= self.alpha
+            higher: Dict[int, CPT] = {}
+            for start in range(0, self.length - span, span):
+                acc = level_cpts[start]
+                for i in range(1, self.alpha):
+                    acc = acc.compose(level_cpts[start + i * below])
+                higher[start] = acc
+            for s in sorted(higher):
+                items.append((encode_key((level, s)), higher[s].to_bytes()))
+            records += len(higher)
+            level_cpts = higher
+
+        self.tree.bulk_load(items)
+        self.tree.flush()
+        self._c_records.inc(records)
+        return records
+
+    def _meta_value(self) -> bytes:
+        meta = {
+            "alpha": self.alpha,
+            "length": self.length,
+            "max_level": self.max_level,
+            "conditioned": self.is_conditioned,
+        }
+        if self.accept_states is not None:
+            meta["accept_states"] = sorted(self.accept_states)
+        return json.dumps(meta).encode("utf-8")
+
+    def read_meta(self) -> Optional[dict]:
+        """The stored metadata record (None on a never-built tree)."""
+        data = self.tree.get(META_KEY)
+        return None if data is None else json.loads(data.decode("utf-8"))
+
+    def verify_meta(self) -> None:
+        """Raise :class:`~repro.errors.CatalogError` when the stored
+        metadata disagrees with how the index was opened."""
+        meta = self.read_meta()
+        if meta is None:
+            return  # not built yet (or pre-metadata index)
+        mismatches = []
+        if meta.get("alpha") != self.alpha:
+            mismatches.append(f"alpha {meta.get('alpha')} != {self.alpha}")
+        if meta.get("length") != self.length:
+            mismatches.append(f"length {meta.get('length')} != {self.length}")
+        if meta.get("conditioned", False) != self.is_conditioned:
+            mismatches.append("conditioned/plain mismatch")
+        if mismatches:
+            raise CatalogError(
+                f"MC index {self.tree.name!r} metadata mismatch: "
+                + "; ".join(mismatches)
+            )
+
+    # ------------------------------------------------------------------
+    # Gap traversal
+    # ------------------------------------------------------------------
     def compute_cpt(self, start: int, end: int, reader, *,
                     min_level: int = 1,
-                    stats: Optional[MCLookupStats] = None):
-        """Compose the CPT spanning ``start -> end`` from index records."""
-        raise self._unimplemented()
+                    stats: Optional[MCLookupStats] = None) -> CPT:
+        """Compose the CPT spanning ``start -> end`` from index records
+        (plus raw CPT reads below ``min_level``)."""
+        if self.is_conditioned:
+            raise CatalogError(
+                "this MC index is conditioned; use compute_conditioned_cpt"
+            )
+        return self._compute(start, end, reader, min_level, stats,
+                             masked=False)
 
     def compute_conditioned_cpt(self, start: int, end: int, reader, *,
                                 min_level: int = 1,
-                                stats: Optional[MCLookupStats] = None):
-        """Like :meth:`compute_cpt`, but every interior timestep is
-        conditioned on the accept-state predicate holding."""
-        raise self._unimplemented()
+                                stats: Optional[MCLookupStats] = None,
+                                normalize: bool = False) -> CPT:
+        """The CPT crossing one conditioned Kleene run ``start -> end``
+        (§3.3.2): interior transitions (into ``start+1 .. end-1``)
+        masked to the accept-state predicate, the final step into
+        ``end`` unmasked (the boundary event's symbol is classified by
+        Reg, so conditioning it away would drop loop exits). The result
+        is sub-stochastic — lost row mass = probability of leaving the
+        loop — unless ``normalize=True`` rescales each row to §3.3.2's
+        conditional distribution."""
+        if not self.is_conditioned:
+            raise CatalogError(
+                "this MC index is not conditioned; build it with a "
+                "predicate (conditioned_predicates=... on archive())"
+            )
+        if not 0 <= start < end <= self.length - 1:
+            raise StreamError(
+                f"MC span [{start}, {end}] outside stream of length "
+                f"{self.length}"
+            )
+        final = reader.cpt_into(end)
+        if end - start == 1:
+            result = final
+            if stats is not None:
+                stats.base_cpts_read += 1
+            self._c_base.inc()
+        else:
+            interior = self._compute(start, end - 1, reader, min_level,
+                                     stats, masked=True)
+            result = interior.compose(final)
+            if stats is not None:
+                stats.base_cpts_read += 1
+                stats.compositions += 1
+            self._c_base.inc()
+            self._c_compose.inc()
+        return result.normalize_rows() if normalize else result
+
+    def _compute(self, start: int, end: int, reader, min_level: int,
+                 stats: Optional[MCLookupStats], masked: bool) -> CPT:
+        if not 0 <= start < end <= self.length - 1:
+            raise StreamError(
+                f"MC span [{start}, {end}] outside stream of length "
+                f"{self.length}"
+            )
+        min_level = max(1, min_level)
+        result: Optional[CPT] = None
+        lookups = base = compositions = 0
+        cur = start
+        while cur < end:
+            piece = None
+            level = self.max_level
+            span = self.alpha ** level
+            while level >= min_level:
+                if cur % span == 0 and cur + span <= end:
+                    piece = self._fetch(level, cur)
+                    lookups += 1
+                    cur += span
+                    break
+                span //= self.alpha
+                level -= 1
+            if piece is None:
+                # Only levels below min_level (or none) fit: raw step.
+                piece = reader.cpt_into(cur + 1)
+                if masked:
+                    piece = piece.mask_destinations(self.accept_states)
+                base += 1
+                cur += 1
+            if result is None:
+                result = piece
+            else:
+                result = result.compose(piece)
+                compositions += 1
+        if stats is not None:
+            stats.lookups += lookups
+            stats.base_cpts_read += base
+            stats.compositions += compositions
+        self._c_lookups.inc(lookups)
+        self._c_base.inc(base)
+        self._c_compose.inc(compositions)
+        return result
+
+    def _fetch(self, level: int, start: int) -> CPT:
+        data = self.tree.get(encode_key((level, start)))
+        if data is None:
+            raise CatalogError(
+                f"MC index {self.tree.name!r} is missing record "
+                f"(level={level}, start={start}); was it built?"
+            )
+        return CPT.from_bytes(data)

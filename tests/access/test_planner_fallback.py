@@ -1,0 +1,89 @@
+"""Fallback decisions must be observable (ISSUE 5 satellite): whenever
+the planner routes a query to the naive scan (or the approximate
+method) for lack of coverage, it bumps ``planner.fallbacks{reason=...}``
+and emits a ``planner.fallback`` warning span on the environment's
+tracer — a silent full scan is a perf bug waiting to be missed."""
+
+import pytest
+
+from repro.core import Caldera
+from repro.streams import synthetic_stream
+
+KLEENE = "location=Door -> (!location=Room)* location=Room"
+FIXED = "location=Door -> location=Room"
+
+
+@pytest.fixture()
+def db(tmp_path):
+    with Caldera(str(tmp_path)) as database:
+        yield database
+
+
+def fallback_counters(db):
+    counters = db.env.metrics.snapshot()["counters"]
+    return {k: v for k, v in counters.items()
+            if k.startswith("planner.fallbacks")}
+
+
+def archive(db, name, seed, **kwargs):
+    stream = synthetic_stream(name, num_snippets=3, density=0.5,
+                              match_rate=0.5, seed=seed)
+    db.archive(stream, layout="separated", **kwargs)
+
+
+def test_variable_query_without_mc_index_counts_fallback(db):
+    archive(db, "s", 5, mc_alpha=None)
+    assert fallback_counters(db) == {}
+    db.query("s", KLEENE, method="auto")
+    assert fallback_counters(db) == {
+        "planner.fallbacks{reason=no_mc_index}": 1
+    }
+    decision = db.explain("s", KLEENE)
+    assert decision.name == "naive"
+    assert fallback_counters(db) == {
+        "planner.fallbacks{reason=no_mc_index}": 2
+    }
+
+
+def test_approximate_fallback_is_counted_too(db):
+    """Falling back to semi-independent is still a fallback — the user
+    asked for a variable-length query the MC index should serve."""
+    archive(db, "s", 5, mc_alpha=None)
+    decision = db.explain("s", KLEENE, approximate=True)
+    assert decision.name == "semi"
+    assert fallback_counters(db) == {
+        "planner.fallbacks{reason=no_mc_index}": 1
+    }
+
+
+def test_missing_btc_coverage_counts_fallback(db):
+    archive(db, "s", 5, btc=False, btp=False, mc_alpha=None)
+    db.query("s", KLEENE, method="auto")
+    db.query("s", FIXED, method="auto")
+    assert fallback_counters(db) == {
+        "planner.fallbacks{reason=no_btc_coverage}": 2
+    }
+
+
+def test_planned_queries_do_not_count_fallbacks(db):
+    archive(db, "s", 5, mc_alpha=2)
+    assert db.explain("s", KLEENE).name == "mc"
+    assert db.explain("s", FIXED).name == "btree"
+    db.query("s", KLEENE, method="auto")
+    db.query("s", FIXED, method="auto")
+    assert fallback_counters(db) == {}
+
+
+def test_fallback_emits_warning_span(db):
+    archive(db, "s", 5, mc_alpha=None)
+    db.query("s", KLEENE, method="auto")
+    histograms = db.env.metrics.snapshot()["histograms"]
+    assert any(k.startswith("span.planner.fallback.ms")
+               for k in histograms), histograms
+
+
+def test_explicit_method_pins_bypass_the_planner(db):
+    """method= pins are deliberate; only auto-planning counts."""
+    archive(db, "s", 5, mc_alpha=None)
+    db.query("s", KLEENE, method="naive")
+    assert fallback_counters(db) == {}
